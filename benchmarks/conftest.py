@@ -1,0 +1,38 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Every harness module regenerates one table or figure from the paper's
+evaluation section, printing measured-vs-paper rows and asserting that
+the *shape* of the result holds.
+
+The expensive (design x benchmark) grids are computed once per session
+and shared.  Trace length is controlled by ``REPRO_BENCH_REFS``
+(default 20000 L2 references per benchmark) — larger values tighten the
+statistics at proportional cost.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import (
+    MAIN_DESIGNS,
+    TLC_FAMILY,
+    run_design_grid,
+)
+
+
+def bench_refs() -> int:
+    return int(os.environ.get("REPRO_BENCH_REFS", "20000"))
+
+
+@pytest.fixture(scope="session")
+def main_grid():
+    """SNUCA2 / DNUCA / TLC across all twelve benchmarks."""
+    return run_design_grid(designs=MAIN_DESIGNS, n_refs=bench_refs())
+
+
+@pytest.fixture(scope="session")
+def family_grid():
+    """SNUCA2 (normalization) plus the TLC family across all benchmarks."""
+    return run_design_grid(designs=("SNUCA2",) + TLC_FAMILY,
+                           n_refs=bench_refs())

@@ -1,0 +1,57 @@
+"""Ablation: sensitivity of TLC to the controller's internal wire delay.
+
+Section 4 notes the TLC controller adds "up to three additional delay
+cycles" of conventional wiring, and that the smaller TLCopt controllers
+win some of it back.  This sweep re-runs the base TLC with the
+round-trip controller delay forced to 0 / uniform values, quantifying
+how much of TLC's latency budget the controller's physical size costs.
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.system import run_system
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import generate_trace
+
+N_REFS = 10_000
+#: uniform extra round-trip cycles applied to every pair.
+SWEEP = (0, 2, 4, 6)
+
+
+def test_ablation_controller_delay(benchmark):
+    def run():
+        trace = generate_trace(get_profile("gcc").spec, N_REFS, seed=7)
+        results = {}
+        for extra in SWEEP:
+            results[extra] = run_system(
+                "TLC", "gcc", trace=trace,
+                controller_rt_delays=(extra,) * 16)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    baseline = results[0]
+    rows = []
+    for extra in SWEEP:
+        r = results[extra]
+        rows.append([
+            f"+{extra}",
+            round(r.mean_lookup_latency, 1),
+            round(r.cycles / baseline.cycles, 3),
+        ])
+    print()
+    print(format_table(
+        ["ctrl RT delay", "mean lookup", "norm. time vs +0"],
+        rows, title="Ablation: TLC controller wire delay (gcc)"))
+
+    lookups = [results[extra].mean_lookup_latency for extra in SWEEP]
+    times = [results[extra].cycles for extra in SWEEP]
+
+    # Lookup latency moves one-for-one with the added round trip.
+    for i, extra in enumerate(SWEEP):
+        assert abs(lookups[i] - (lookups[0] + extra)) < 1.0
+
+    # Execution time degrades monotonically but sub-linearly (the OoO
+    # window hides part of each added cycle).
+    assert times == sorted(times)
+    worst = times[-1] / times[0]
+    assert 1.0 < worst < 1.0 + 6 / lookups[0]

@@ -1,0 +1,67 @@
+"""Ablation: DNUCA with and without its central partial-tag array.
+
+Section 2 credits partial tags with two benefits: directly cutting the
+number of banks searched (and enabling fast misses), and indirectly
+reducing interconnect contention.  Removing them forces every
+closest-two miss to search all fourteen remaining banks.
+
+The effect is largest for workloads that miss the closest banks often —
+mcf (deep hits) and swim (misses) — and nearly invisible for gcc, whose
+hits are almost all close.
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.system import run_system
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import generate_trace
+
+BENCHMARKS = ("gcc", "mcf", "swim")
+N_REFS = 10_000
+
+
+def test_ablation_partial_tags(benchmark):
+    def run():
+        results = {}
+        for bench in BENCHMARKS:
+            trace = generate_trace(get_profile(bench).spec, N_REFS, seed=7)
+            results[(bench, True)] = run_system("DNUCA", bench, trace=trace)
+            results[(bench, False)] = run_system("DNUCA", bench, trace=trace,
+                                                 use_partial_tags=False)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for bench in BENCHMARKS:
+        with_pt = results[(bench, True)]
+        without = results[(bench, False)]
+        rows.append([
+            bench,
+            round(with_pt.banks_accessed_per_request, 2),
+            round(without.banks_accessed_per_request, 2),
+            round(with_pt.network_power_w * 1000),
+            round(without.network_power_w * 1000),
+            round(without.cycles / with_pt.cycles, 3),
+        ])
+    print()
+    print(format_table(
+        ["bench", "banks/req (PT)", "banks/req (no PT)",
+         "power mW (PT)", "power mW (no PT)", "slowdown"],
+        rows, title="Ablation: DNUCA partial tags"))
+
+    for bench in BENCHMARKS:
+        with_pt = results[(bench, True)]
+        without = results[(bench, False)]
+        # Without partial tags, far more banks get probed...
+        assert (without.banks_accessed_per_request
+                > with_pt.banks_accessed_per_request + 0.5), bench
+        # ...which burns more network power...
+        assert without.network_power_w > with_pt.network_power_w, bench
+        # ...and never helps performance.
+        assert without.cycles >= with_pt.cycles * 0.99, bench
+
+    # Where misses/deep hits dominate, the search storm visibly hurts.
+    assert (results[("swim", False)].cycles
+            > results[("swim", True)].cycles * 1.02)
+    # Full search without partial tags approaches all 16 banks.
+    assert results[("swim", False)].banks_accessed_per_request > 8

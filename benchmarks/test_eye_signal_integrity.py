@@ -1,0 +1,44 @@
+"""Section 5's physical evaluation: 10 GHz pulses through every line.
+
+The paper accepted a line when the received pulse kept >= 75 % of Vdd
+in amplitude and >= 40 % of the cycle time in width.  This harness runs
+the extraction + wave-propagation pipeline for all three Table 1
+classes and checks both criteria, plus the one-cycle link latency the
+cache timing models assume.
+"""
+
+from repro.analysis.tables import format_table
+from repro.tline import TABLE1_LINES, evaluate_link
+from repro.tline.signaling import MIN_AMPLITUDE_FRACTION, MIN_WIDTH_FRACTION
+
+
+def test_eye_signal_integrity(benchmark):
+    reports = benchmark.pedantic(
+        lambda: [evaluate_link(g.length) for g in TABLE1_LINES],
+        rounds=3, iterations=1)
+
+    rows = []
+    for report in reports:
+        rows.append([
+            report.geometry.name,
+            f"{report.line.z0:.1f}",
+            f"{report.pulse.delay_s * 1e12:.0f} ps",
+            f"{report.amplitude_fraction:.0%}",
+            f">={MIN_AMPLITUDE_FRACTION:.0%}",
+            f"{report.width_fraction:.0%}",
+            f">={MIN_WIDTH_FRACTION:.0%}",
+            report.latency_cycles,
+            "PASS" if report.usable else "FAIL",
+        ])
+    print()
+    print(format_table(
+        ["line", "Z0", "delay", "amplitude", "(req)", "width", "(req)",
+         "cycles", "verdict"],
+        rows, title="Signal integrity at 10 GHz (Section 5 criteria)"))
+
+    for report in reports:
+        assert report.usable, f"{report.geometry.name} failed the criteria"
+        assert report.latency_cycles == 1
+    # Attenuation must worsen monotonically with length (physical sanity).
+    amplitudes = [r.amplitude_fraction for r in reports]
+    assert amplitudes == sorted(amplitudes, reverse=True)

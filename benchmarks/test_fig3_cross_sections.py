@@ -1,0 +1,39 @@
+"""Figure 3: cross-sectional comparison, transmission line vs RC wire.
+
+The figure's point: transmission lines are an order of magnitude larger
+than conventional global wires in every dimension — and in exchange
+signal near the speed of light instead of at repeated-RC speed.
+"""
+
+from repro.analysis.tables import format_table
+from repro.tech import TECH_45NM
+from repro.tline import CONVENTIONAL_GLOBAL_WIRE, TABLE1_LINES, extract
+
+
+def test_fig3_cross_sections(benchmark):
+    tl_geometry = TABLE1_LINES[0]
+    tl = benchmark.pedantic(lambda: extract(tl_geometry), rounds=3, iterations=1)
+    conv = CONVENTIONAL_GLOBAL_WIRE
+
+    length = 1.0e-2  # compare over a 1 cm global run
+    tl_delay = TECH_45NM.tl_flight_cycles(length)
+    conv_delay = TECH_45NM.conventional_delay_cycles(length)
+
+    rows = [
+        ["width (um)", f"{tl_geometry.width * 1e6:.2f}", f"{conv.width * 1e6:.2f}"],
+        ["spacing (um)", f"{tl_geometry.spacing * 1e6:.2f}", f"{conv.spacing * 1e6:.2f}"],
+        ["thickness (um)", f"{tl_geometry.thickness * 1e6:.2f}", f"{conv.thickness * 1e6:.2f}"],
+        ["dielectric height (um)", f"{tl_geometry.height * 1e6:.2f}", f"{conv.height * 1e6:.2f}"],
+        ["cross-section (um^2)", f"{tl_geometry.cross_section_area * 1e12:.2f}",
+         f"{conv.cross_section_area * 1e12:.3f}"],
+        ["delay over 1 cm (cycles)", f"{tl_delay:.2f}", f"{conv_delay:.1f}"],
+        ["repeaters needed", "none", "every ~0.1 mm"],
+    ]
+    print()
+    print(format_table(["", "transmission line", "conventional global"],
+                       rows, title="Figure 3: cross-sectional comparison"))
+
+    # Shape: the TL is much larger physically and much faster electrically.
+    assert tl_geometry.cross_section_area > 25 * conv.cross_section_area
+    assert conv_delay / tl_delay > 10
+    assert tl_delay < 1.0  # under one cycle for 1 cm

@@ -1,0 +1,54 @@
+"""Figure 5: normalized execution time (SNUCA2 = 1.0).
+
+Expected shape, per the paper:
+
+* Both TLC and DNUCA significantly improve the high-L2-traffic SPECint
+  and commercial workloads over SNUCA2.
+* Neither design helps the miss-dominated SPECfp streamers (swim,
+  applu, lucas) — everything is memory time there.
+* TLC clearly wins mcf (large footprint spread across the whole cache);
+  DNUCA wins equake (frequency-like replacement protects the reused
+  set against the streams).
+"""
+
+from repro.analysis.tables import format_table
+
+
+def test_fig5_normalized_execution_time(main_grid, benchmark):
+    def rows():
+        out = []
+        for bench in main_grid.benchmarks:
+            out.append([
+                bench,
+                1.0,
+                round(main_grid.normalized_execution_time("DNUCA", bench), 3),
+                round(main_grid.normalized_execution_time("TLC", bench), 3),
+            ])
+        return out
+
+    table = benchmark.pedantic(rows, rounds=1, iterations=1)
+    print()
+    print(format_table(["benchmark", "SNUCA2", "DNUCA", "TLC"], table,
+                       title="Figure 5: Normalized Execution Time"))
+
+    norm = {(d, b): main_grid.normalized_execution_time(d, b)
+            for d in ("DNUCA", "TLC") for b in main_grid.benchmarks}
+
+    # Memory-bound streamers: nobody moves the needle much.
+    for bench in ("swim", "applu", "lucas"):
+        for design in ("DNUCA", "TLC"):
+            assert 0.90 <= norm[(design, bench)] <= 1.10, (design, bench)
+
+    # High-traffic workloads improve clearly under both designs.
+    for bench in ("gcc",):
+        assert norm[("TLC", bench)] < 0.90
+        assert norm[("DNUCA", bench)] < 0.95
+
+    # TLC's headline win: mcf.
+    assert norm[("TLC", "mcf")] < norm[("DNUCA", "mcf")] - 0.05
+
+    # DNUCA's headline win: equake (replacement-policy anomaly).
+    assert norm[("DNUCA", "equake")] < norm[("TLC", "equake")]
+
+    # Nothing should ever be dramatically *worse* than the static baseline.
+    assert all(value < 1.15 for value in norm.values())

@@ -1,0 +1,45 @@
+"""Figure 6: mean cache lookup latency, DNUCA vs TLC.
+
+The paper's key observation: TLC's mean lookup latency sits in a narrow
+band around 13 cycles for *every* benchmark, while DNUCA's mean varies
+tremendously with each workload's locality — low when close hits
+dominate (gcc, perl), high when hits live deep in the bank sets
+(mcf, equake).
+"""
+
+import statistics
+
+from repro.analysis.tables import format_table
+
+
+def test_fig6_mean_lookup_latency(main_grid, benchmark):
+    def rows():
+        return [
+            [bench,
+             round(main_grid.result("DNUCA", bench).mean_lookup_latency, 1),
+             round(main_grid.result("TLC", bench).mean_lookup_latency, 1)]
+            for bench in main_grid.benchmarks
+        ]
+
+    table = benchmark.pedantic(rows, rounds=1, iterations=1)
+    print()
+    print(format_table(["benchmark", "DNUCA", "TLC"], table,
+                       title="Figure 6: Mean Cache Lookup Latency (cycles)"))
+
+    tlc = [main_grid.result("TLC", b).mean_lookup_latency
+           for b in main_grid.benchmarks]
+    dnuca = [main_grid.result("DNUCA", b).mean_lookup_latency
+             for b in main_grid.benchmarks]
+
+    # TLC: consistent ~13-cycle band across all twelve benchmarks.
+    assert all(11.0 <= value <= 16.0 for value in tlc), tlc
+    assert max(tlc) - min(tlc) < 4.0
+
+    # DNUCA: workload-dependent spread, wider than TLC's.
+    assert max(dnuca) - min(dnuca) > 2 * (max(tlc) - min(tlc))
+    assert statistics.pstdev(dnuca) > 2 * statistics.pstdev(tlc)
+
+    # Locality ordering: gcc/perl (high close-hit) beat mcf under DNUCA.
+    by_bench = dict(zip(main_grid.benchmarks, dnuca))
+    assert by_bench["perl"] < by_bench["mcf"]
+    assert by_bench["gcc"] < by_bench["mcf"]

@@ -1,0 +1,48 @@
+"""Figure 7: average transmission-line link utilization, TLC family.
+
+The figure's argument: the base TLC's 2048 lines are grossly
+over-provisioned (utilization under ~2 %), so the optimized designs can
+shed half to five-sixths of the wires and still stay at comfortably low
+utilization (the paper's ceiling is ~13 % for TLCopt 350).
+"""
+
+from repro.analysis.experiments import TLC_FAMILY
+from repro.analysis.tables import format_table
+
+
+def test_fig7_link_utilization(family_grid, benchmark):
+    def rows():
+        out = []
+        for bench in family_grid.benchmarks:
+            out.append([bench] + [
+                f"{family_grid.result(design, bench).link_utilization:.1%}"
+                for design in TLC_FAMILY
+            ])
+        return out
+
+    table = benchmark.pedantic(rows, rounds=1, iterations=1)
+    print()
+    print(format_table(["benchmark"] + list(TLC_FAMILY), table,
+                       title="Figure 7: TLC Average Link Utilization"))
+
+    util = {(d, b): family_grid.result(d, b).link_utilization
+            for d in TLC_FAMILY for b in family_grid.benchmarks}
+
+    # Absolute utilizations scale with the achieved L2 request rate; our
+    # processor model sustains higher IPCs than the authors' Simics
+    # target, so the band sits ~2x above the paper's (<2 % -> <6 % for
+    # the base design).  The family *ordering* and the over-provisioning
+    # argument are the reproduced shape.
+    for bench in family_grid.benchmarks:
+        # Base TLC: massively over-provisioned.
+        assert util[("TLC", bench)] < 0.06, bench
+        # Fewer wires -> more utilization, in family order (small jitter
+        # between adjacent designs tolerated, the trend must hold).
+        assert util[("TLCopt350", bench)] > util[("TLC", bench)], bench
+        assert util[("TLCopt500", bench)] >= util[("TLCopt1000", bench)] * 0.8
+        # Even the leanest design stays far from saturation.
+        assert util[("TLCopt350", bench)] < 0.45, bench
+
+    # The most utilized cell belongs to the narrowest design.
+    peak_design = max(util, key=util.get)[0]
+    assert peak_design == "TLCopt350"

@@ -1,0 +1,66 @@
+"""Sensitivity sweeps around the paper's design point (beyond the paper).
+
+Three robustness checks a reviewer would ask for:
+
+* **memory latency** — TLC's win over SNUCA2 must not be an artifact of
+  the 300-cycle DRAM assumption;
+* **clock frequency** — the "every bank within 16 cycles" budget as the
+  cycle shrinks: the bank access inflates, the line stays ~1 cycle
+  until the cycle time dives below the time of flight;
+* **workload dependence** — the knob separating mcf from swim: the
+  designs' latency gap must grow with pointer chasing.
+"""
+
+from repro.analysis.sweeps import (
+    dependence_sweep,
+    frequency_sweep,
+    memory_latency_sweep,
+)
+from repro.analysis.tables import format_table
+
+
+def test_sensitivity_sweeps(benchmark):
+    def run():
+        return {
+            "memory": memory_latency_sweep(latencies=(100, 300, 900),
+                                           n_refs=8_000),
+            "frequency": frequency_sweep(frequencies_ghz=(2.5, 5, 10, 20, 40)),
+            "dependence": dependence_sweep(fractions=(0.0, 0.3, 0.6, 0.9),
+                                           n_refs=8_000),
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    rows = [[lat, round(row["TLC"] / row["SNUCA2"], 3)]
+            for lat, row in sweeps["memory"]]
+    print(format_table(["DRAM latency", "TLC/SNUCA2 time"], rows,
+                       title="Memory-latency sensitivity (gcc)"))
+
+    print()
+    rows = [[f"{ghz:g} GHz", bank, line, "yes" if ok else "no"]
+            for ghz, bank, line, ok in sweeps["frequency"]]
+    print(format_table(["clock", "bank cycles", "line cycles", "usable"],
+                       rows, title="Frequency sensitivity (512 KB bank, 1.3 cm line)"))
+
+    print()
+    rows = [[f"{frac:.0%}", round(row["SNUCA2"] / row["TLC"], 3)]
+            for frac, row in sweeps["dependence"]]
+    print(format_table(["dependent refs", "TLC speedup vs SNUCA2"], rows,
+                       title="Dependence sensitivity"))
+
+    # TLC beats SNUCA2 at every memory latency, most at the fastest.
+    ratios = [row["TLC"] / row["SNUCA2"] for _, row in sweeps["memory"]]
+    assert all(r < 1.0 for r in ratios)
+    assert ratios[0] <= ratios[-1] + 0.02
+
+    # The line holds one cycle through 20 GHz; the bank balloons.
+    by_ghz = {row[0]: row for row in sweeps["frequency"]}
+    assert by_ghz[10][1] == 8 and by_ghz[10][2] == 1
+    assert by_ghz[20][1] > 8
+    assert by_ghz[40][2] >= 2
+
+    # Dependence monotonically widens TLC's advantage.
+    speedups = [row["SNUCA2"] / row["TLC"] for _, row in sweeps["dependence"]]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 1.15

@@ -1,0 +1,40 @@
+"""Table 1: transmission-line dimensions and their extracted parameters.
+
+Regenerates the paper's Table 1 (length / width / spacing / height /
+thickness) and extends it with the quantities the dimensions exist to
+deliver: characteristic impedance, flight time, and loss.
+"""
+
+from repro.analysis.tables import format_table
+from repro.tline import TABLE1_LINES, extract
+
+
+def test_table1_dimensions(benchmark):
+    lines = benchmark.pedantic(
+        lambda: [extract(g) for g in TABLE1_LINES], rounds=3, iterations=1)
+
+    rows = []
+    for geometry, line in zip(TABLE1_LINES, lines):
+        rows.append([
+            f"{geometry.length * 100:.1f} cm",
+            f"{geometry.width * 1e6:.1f}",
+            f"{geometry.spacing * 1e6:.1f}",
+            f"{geometry.height * 1e6:.2f}",
+            f"{geometry.thickness * 1e6:.1f}",
+            f"{line.z0:.1f}",
+            f"{line.flight_time * 1e12:.0f} ps",
+        ])
+    print()
+    print(format_table(
+        ["Length", "W (um)", "S (um)", "H (um)", "T (um)", "Z0 (ohm)", "flight"],
+        rows, title="Table 1: Transmission Line Dimensions (+ extraction)"))
+
+    # Shape assertions: the published dimensional progression.
+    widths = [g.width for g in TABLE1_LINES]
+    assert widths == sorted(widths)
+    assert [round(g.width * 1e6, 1) for g in TABLE1_LINES] == [2.0, 2.5, 3.0]
+    assert [round(g.spacing * 1e6, 1) for g in TABLE1_LINES] == [2.0, 2.5, 3.0]
+    assert all(abs(g.height - 1.75e-6) < 1e-9 for g in TABLE1_LINES)
+    assert all(abs(g.thickness - 3.0e-6) < 1e-9 for g in TABLE1_LINES)
+    # Every class flies its full run within one 10 GHz cycle.
+    assert all(line.flight_time < 100e-12 for line in lines)

@@ -1,0 +1,54 @@
+"""Table 7: consumed substrate area.
+
+The area models are calibrated at the component level (SRAM cell size,
+wire pitches, TL pitch); this harness checks they compose into the
+paper's breakdown: DNUCA 92/17/1.1 -> 110 mm^2, TLC 77/3.1/10 ->
+91 mm^2, an ~18 % saving.
+"""
+
+import pytest
+
+from repro.analysis.tables import PAPER_TABLE7, format_table
+from repro.area import dnuca_area, tlc_area
+from repro.core.config import TLC_BASE
+
+
+def test_table7_substrate_area(benchmark):
+    reports = benchmark.pedantic(
+        lambda: {"DNUCA": dnuca_area(),
+                 "TLC": tlc_area(TLC_BASE.total_lines)},
+        rounds=3, iterations=1)
+
+    rows = []
+    for name, report in reports.items():
+        mm2 = report.as_mm2()
+        paper = PAPER_TABLE7[name]
+        rows.append([
+            name,
+            round(mm2["storage_mm2"], 1), paper["storage"],
+            round(mm2["channel_mm2"], 1), paper["channel"],
+            round(mm2["controller_mm2"], 1), paper["controller"],
+            round(mm2["total_mm2"], 1), paper["total"],
+        ])
+    print()
+    print(format_table(
+        ["design", "storage", "(paper)", "channel", "(paper)",
+         "controller", "(paper)", "total", "(paper)"],
+        rows, title="Table 7: Consumed Substrate Area (mm^2)"))
+
+    dnuca = reports["DNUCA"].as_mm2()
+    tlc = reports["TLC"].as_mm2()
+
+    for name, report in (("DNUCA", dnuca), ("TLC", tlc)):
+        paper = PAPER_TABLE7[name]
+        assert report["storage_mm2"] == pytest.approx(paper["storage"], rel=0.15)
+        assert report["total_mm2"] == pytest.approx(paper["total"], rel=0.15)
+
+    # Component shape: TLC trades tiny channels for a big controller.
+    assert tlc["channel_mm2"] < dnuca["channel_mm2"] / 3
+    assert tlc["controller_mm2"] > 5 * dnuca["controller_mm2"]
+    assert tlc["storage_mm2"] < dnuca["storage_mm2"]
+
+    # Headline: ~18 % substrate-area saving.
+    saving = 1 - tlc["total_mm2"] / dnuca["total_mm2"]
+    assert 0.12 < saving < 0.25

@@ -1,0 +1,49 @@
+"""Table 8: cache communication-network transistor inventories.
+
+DNUCA's mesh needs switches, repeaters, and pipeline latches; TLC only
+drivers, receivers, and impedance-trim logic.  The paper's totals:
+1.2e7 transistors / 440 Mlambda vs 1.9e5 / 20 Mlambda — a >50x count
+reduction and >10x total-gate-width (leakage) reduction.
+"""
+
+import pytest
+
+from repro.analysis.tables import PAPER_TABLE8, format_table
+from repro.area import dnuca_network_transistors, tlc_network_transistors
+from repro.core.config import TLC_BASE
+
+
+def test_table8_network_transistors(benchmark):
+    reports = benchmark.pedantic(
+        lambda: {"DNUCA": dnuca_network_transistors(),
+                 "TLC": tlc_network_transistors(TLC_BASE.total_lines)},
+        rounds=3, iterations=1)
+
+    rows = []
+    for name, report in reports.items():
+        paper = PAPER_TABLE8[name]
+        rows.append([
+            name,
+            f"{report.transistors:.2e}", f"{paper['transistors']:.1e}",
+            f"{report.gate_width_mega_lambda:.0f} M",
+            f"{paper['gate_width_mega_lambda']:.0f} M",
+        ])
+    print()
+    print(format_table(
+        ["design", "transistors", "(paper)", "gate width", "(paper)"],
+        rows, title="Table 8: Communication Network Characteristics"))
+
+    dnuca, tlc = reports["DNUCA"], reports["TLC"]
+    assert dnuca.transistors == pytest.approx(1.2e7, rel=0.3)
+    assert tlc.transistors == pytest.approx(1.9e5, rel=0.2)
+    assert dnuca.gate_width_mega_lambda == pytest.approx(440, rel=0.3)
+    assert tlc.gate_width_mega_lambda == pytest.approx(20, rel=0.2)
+
+    # Headline ratios.
+    assert dnuca.transistors / tlc.transistors > 50
+    assert dnuca.gate_width_lambda / tlc.gate_width_lambda > 10
+
+    # DNUCA's inventory is dominated by the switches; TLC's width by the
+    # low-impedance drivers.
+    assert dnuca.breakdown["switches"] > dnuca.breakdown["repeaters"]
+    assert tlc.breakdown["drivers"] > tlc.breakdown["receivers"]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Bring your own workload: author a trace spec, save/replay the trace.
+
+Shows the workload-authoring surface a downstream user needs:
+
+1. describe a workload as a :class:`TraceSpec` mixture,
+2. render it to a deterministic reference trace,
+3. persist the trace to disk and reload it,
+4. replay the identical trace against several cache designs,
+5. inspect per-design statistics beyond the headline numbers.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+import os
+import tempfile
+
+from repro import run_system
+from repro.workloads import TraceSpec, generate_trace, load_trace, save_trace
+
+
+def main() -> None:
+    # An in-memory database-ish workload: a skewed hot index that fits in
+    # the cache, a scan component (streaming), and a random row tail.
+    spec = TraceSpec(
+        mean_gap=45.0,            # ~22 L2 requests per kilo-instruction
+        hot_blocks=60_000,        # ~3.7 MB hot index
+        hot_skew=2.5,
+        stream_fraction=0.10,     # table scans
+        stream_blocks=1 << 22,    # 256 MB scanned footprint
+        cold_fraction=0.08,       # random row touches
+        write_fraction=0.25,
+        dependent_fraction=0.30,  # index walks
+    )
+    trace = generate_trace(spec, n_refs=12_000, seed=42)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "mydb.trace")
+        count = save_trace(path, trace)
+        replayed = load_trace(path)
+        assert replayed == trace
+        print(f"Generated, saved, and reloaded {count} references "
+              f"({os.path.getsize(path)} bytes on disk).")
+
+    print("\nReplaying the identical trace against three designs:\n")
+    header = (f"{'design':11s} {'IPC':>5s} {'miss%':>6s} {'lookup':>7s} "
+              f"{'pred%':>6s} {'util%':>6s} {'power':>8s}")
+    print(header)
+    print("-" * len(header))
+    for design in ("SNUCA2", "DNUCA", "TLC", "TLCopt500"):
+        r = run_system(design, "custom-db", trace=trace)
+        print(f"{design:11s} {r.ipc:5.2f} {r.miss_ratio:6.1%} "
+              f"{r.mean_lookup_latency:7.1f} "
+              f"{r.predictable_lookup_fraction:6.0%} "
+              f"{r.link_utilization:6.1%} "
+              f"{r.network_power_w * 1000:6.0f} mW")
+
+    print("\nDetailed counters are available on every result, e.g. TLC:")
+    r = run_system("TLC", "custom-db", trace=trace)
+    for name in sorted(r.stats):
+        print(f"  {name:22s} {r.stats[name]}")
+    print("\nNote: a raw trace replay starts from a cold cache — use the")
+    print("named benchmark profiles (repro.workloads.PROFILES) to get the")
+    print("calibrated pre-warmed runs the paper-style experiments use.")
+
+
+if __name__ == "__main__":
+    main()

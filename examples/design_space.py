@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Design-space walk: the whole TLC family against the NUCA baselines.
+
+Reproduces a miniature of the paper's evaluation on three contrasting
+workloads — gcc (cache-resident, extreme L2 traffic), equake (the
+LRU-vs-frequency replacement anomaly), and swim (pure streaming) — and
+prints the area/power/wire cost of each design next to its performance,
+the trade-off space of Table 2 + Table 7 + Figure 8.
+
+Usage::
+
+    python examples/design_space.py [n_refs]
+"""
+
+import sys
+
+from repro import DESIGNS, run_system
+from repro.analysis.tables import format_table
+from repro.area import (
+    dnuca_area,
+    dnuca_network_transistors,
+    snuca_area,
+    tlc_area,
+    tlc_network_transistors,
+)
+
+BENCHMARKS = ("gcc", "equake", "swim")
+DESIGN_ORDER = ("SNUCA2", "DNUCA", "TLC", "TLCopt1000", "TLCopt500", "TLCopt350")
+
+
+def physical_cost(name: str):
+    """(area mm^2, network transistors, total transmission lines)."""
+    config = DESIGNS[name]
+    if config.kind == "snuca":
+        return snuca_area().total_m2 * 1e6, None, 0
+    if config.kind == "dnuca":
+        return (dnuca_area().total_m2 * 1e6,
+                dnuca_network_transistors().transistors, 0)
+    lines = config.total_lines
+    return (tlc_area(lines, config.banks, config.bank_bytes).total_m2 * 1e6,
+            tlc_network_transistors(lines).transistors, lines)
+
+
+def main() -> None:
+    n_refs = int(sys.argv[1]) if len(sys.argv) > 1 else 15_000
+
+    print(f"Running {len(DESIGN_ORDER)} designs x {len(BENCHMARKS)} "
+          f"benchmarks at {n_refs} L2 references each...\n")
+
+    results = {}
+    for benchmark in BENCHMARKS:
+        for design in DESIGN_ORDER:
+            results[(design, benchmark)] = run_system(design, benchmark,
+                                                      n_refs=n_refs)
+
+    rows = []
+    for design in DESIGN_ORDER:
+        area_mm2, transistors, lines = physical_cost(design)
+        row = [design, f"{area_mm2:.0f}",
+               f"{transistors:.1e}" if transistors else "-",
+               lines if lines else "-"]
+        for benchmark in BENCHMARKS:
+            base = results[("SNUCA2", benchmark)].cycles
+            row.append(f"{results[(design, benchmark)].cycles / base:.2f}")
+        rows.append(row)
+
+    headers = ["design", "area mm^2", "net xtors", "TL lines"] + [
+        f"{b} (norm)" for b in BENCHMARKS]
+    print(format_table(headers, rows,
+                       title="Cost vs performance across the design family"))
+
+    print("\nReading the table:")
+    print(" * TLC matches DNUCA's performance with ~18% less substrate and")
+    print("   ~60x fewer network transistors, at the cost of 2048 wide")
+    print("   upper-metal transmission lines.")
+    print(" * The optimized TLC designs shed 50-83% of those lines for at")
+    print("   most a few percent of execution time (Figure 8's claim).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Full-system mode: simulate the whole Table 3 hierarchy, L1 included.
+
+The paper-reproduction experiments replay L2-level traces (the L1
+filter is folded into the workload calibration).  This example instead
+drives CPU-level references through a simulated 64 KB 2-way L1 in front
+of each L2 design — showing the L1's filtering, its writeback traffic
+arriving at the L2 as stores, and how the L2 design choice still shows
+through the L1.
+
+Usage::
+
+    python examples/full_system.py
+"""
+
+from repro.sim.full_system import FullSystem
+from repro.workloads.cpu_level import CpuLevelSpec, generate_cpu_trace
+from repro.workloads.synthetic import TraceSpec
+
+
+def main() -> None:
+    # A pointer-heavy workload: the L2-relevant footprint is large and
+    # dependent (mcf-flavoured), wrapped in CPU-level near-set reuse.
+    spec = CpuLevelSpec(
+        l2_spec=TraceSpec(mean_gap=9.0, hot_blocks=150_000, hot_skew=1.3,
+                          scatter=False, dependent_fraction=0.8,
+                          write_fraction=0.25),
+        near_fraction=0.60,   # stack/locals the L1 absorbs
+        near_bytes=16 * 1024,
+        spatial_run=1,
+        mean_gap=3.0,
+    )
+    trace = generate_cpu_trace(spec, n_refs=60_000, seed=11)
+    print(f"CPU-level trace: {len(trace)} references, "
+          f"{sum(r.gap for r in trace)} instructions\n")
+
+    header = (f"{'design':8s} {'IPC':>6s} {'L1 miss':>8s} {'L1 wb':>6s} "
+              f"{'L2 reqs':>8s} {'L2 miss':>8s}")
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for design in ("SNUCA2", "DNUCA", "TLC"):
+        system = FullSystem(design)
+        system.prewarm(spec.l2_spec)  # stand-in for the fast-forward phase
+        result = system.run(trace)
+        results[design] = result
+        print(f"{design:8s} {result.ipc:6.2f} {result.l1_miss_rate:8.1%} "
+              f"{result.l1_writebacks:6d} {result.l2_requests:8d} "
+              f"{result.l2_misses:8d}")
+
+    tlc, snuca = results["TLC"], results["SNUCA2"]
+    print(f"\nThe L1 filters {tlc.l1_hits / tlc.cpu_references:.0%} of "
+          f"references identically for every design, yet TLC runs "
+          f"{snuca.cycles / tlc.cycles:.2f}x faster than SNUCA2 — the "
+          f"dependence-bound miss stream exposes every cycle of L2 "
+          f"lookup latency that survives the L1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+Metadata lives in setup.cfg.  The project deliberately avoids a
+pyproject.toml: its presence makes pip use PEP 517 build isolation,
+which tries to download setuptools/wheel and therefore breaks
+``pip install -e .`` in fully offline environments.  The legacy
+setup.cfg path installs everywhere.
+"""
+
+from setuptools import setup
+
+setup()

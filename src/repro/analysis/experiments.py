@@ -1,0 +1,76 @@
+"""Grid-runner utilities shared by the benchmark harnesses.
+
+The paper's evaluation is a (design x benchmark) grid; these helpers run
+it with a *shared trace per benchmark* (so every design sees the
+identical reference stream, like the paper's identical checkpoints) and
+return the per-cell :class:`~repro.sim.system.SystemResult` objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.sim.processor import ProcessorConfig
+from repro.sim.system import SystemResult, run_system
+from repro.workloads.profiles import benchmark_names, get_profile
+from repro.workloads.synthetic import generate_trace
+
+#: The three designs of Figure 5 / Figure 6 / Table 9.
+MAIN_DESIGNS: Tuple[str, ...] = ("SNUCA2", "DNUCA", "TLC")
+
+#: The TLC family of Figure 7 / Figure 8.
+TLC_FAMILY: Tuple[str, ...] = ("TLC", "TLCopt1000", "TLCopt500", "TLCopt350")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentGrid:
+    """Results of a (design x benchmark) sweep."""
+
+    designs: Tuple[str, ...]
+    benchmarks: Tuple[str, ...]
+    results: Dict[Tuple[str, str], SystemResult]  # (design, benchmark) -> result
+
+    def result(self, design: str, benchmark: str) -> SystemResult:
+        return self.results[(design, benchmark)]
+
+    def normalized_execution_time(self, design: str, benchmark: str,
+                                  baseline: str = "SNUCA2") -> float:
+        """Execution time relative to ``baseline`` (Fig. 5 / Fig. 8)."""
+        base = self.results[(baseline, benchmark)].cycles
+        if base == 0:
+            return 0.0
+        return self.results[(design, benchmark)].cycles / base
+
+
+def run_design_grid(designs: Sequence[str] = MAIN_DESIGNS,
+                    benchmarks: Optional[Sequence[str]] = None,
+                    n_refs: int = 30_000, seed: int = 7,
+                    warmup_fraction: float = 0.3,
+                    processor_config: Optional[ProcessorConfig] = None,
+                    ) -> ExperimentGrid:
+    """Run every design on every benchmark, one shared trace per benchmark."""
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    results: Dict[Tuple[str, str], SystemResult] = {}
+    for benchmark in benchmarks:
+        profile = get_profile(benchmark)
+        trace = generate_trace(profile.spec, n_refs, seed=seed)
+        for design in designs:
+            results[(design, benchmark)] = run_system(
+                design, benchmark, trace=trace,
+                warmup_fraction=warmup_fraction,
+                processor_config=processor_config,
+            )
+    return ExperimentGrid(tuple(designs), tuple(benchmarks), results)
+
+
+def run_benchmark_suite(design: str, benchmarks: Optional[Sequence[str]] = None,
+                        n_refs: int = 30_000, seed: int = 7) -> Dict[str, SystemResult]:
+    """Run one design across the benchmark suite."""
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    return {
+        benchmark: run_system(design, benchmark, n_refs=n_refs, seed=seed)
+        for benchmark in benchmarks
+    }

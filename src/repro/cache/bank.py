@@ -1,0 +1,171 @@
+"""A set-associative cache bank.
+
+Banks are the storage unit shared by every design in the paper: TLC uses
+32 x 512 KB or 16 x 1 MB banks, DNUCA 256 x 64 KB banks, SNUCA2
+32 x 512 KB banks.  A bank holds tags and dirty bits; data values are not
+simulated (the timing and power models only need which block is where).
+
+Sets and their replacement state are allocated lazily so that a 16 MB
+cache with a small touched footprint stays cheap to simulate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.replacement import make_policy
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a bank access."""
+
+    hit: bool
+    way: Optional[int] = None
+    evicted_tag: Optional[int] = None
+    evicted_dirty: bool = False
+
+
+class _Set:
+    __slots__ = ("tags", "dirty", "policy")
+
+    def __init__(self, ways: int, policy_name: str, seed: int) -> None:
+        self.tags: List[Optional[int]] = [None] * ways
+        self.dirty: List[bool] = [False] * ways
+        if policy_name == "random":
+            self.policy = make_policy(policy_name, ways)
+            self.policy._rng.seed(seed)  # deterministic per set
+        else:
+            self.policy = make_policy(policy_name, ways)
+
+
+class CacheBank:
+    """Tag storage for one bank.
+
+    Parameters
+    ----------
+    num_sets:
+        Number of sets in the bank.
+    ways:
+        Associativity.  DNUCA banks are direct-mapped (``ways=1``).
+    policy:
+        Replacement policy name: ``lru`` (TLC default), ``frequency``,
+        or ``random``.
+    """
+
+    def __init__(self, num_sets: int, ways: int, policy: str = "lru") -> None:
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError("num_sets and ways must be positive")
+        self.num_sets = num_sets
+        self.ways = ways
+        self.policy_name = policy
+        make_policy(policy, ways)  # validate the name eagerly
+        self._sets: Dict[int, _Set] = {}
+
+    def _set(self, index: int) -> _Set:
+        if not 0 <= index < self.num_sets:
+            raise IndexError(f"set index {index} out of range [0, {self.num_sets})")
+        entry = self._sets.get(index)
+        if entry is None:
+            entry = _Set(self.ways, self.policy_name, seed=index)
+            self._sets[index] = entry
+        return entry
+
+    # -- queries ---------------------------------------------------------
+    def probe(self, set_index: int, tag: int) -> Optional[int]:
+        """Return the way holding ``tag``, without touching LRU state."""
+        entry = self._sets.get(set_index)
+        if entry is None:
+            return None
+        try:
+            return entry.tags.index(tag)
+        except ValueError:
+            return None
+
+    def tag_at(self, set_index: int, way: int) -> Optional[int]:
+        """The tag stored in (set, way), or None if the slot is empty."""
+        entry = self._sets.get(set_index)
+        if entry is None:
+            return None
+        return entry.tags[way]
+
+    def dirty_at(self, set_index: int, way: int) -> bool:
+        entry = self._sets.get(set_index)
+        if entry is None:
+            return False
+        return entry.dirty[way]
+
+    # -- state-changing accesses ----------------------------------------
+    def lookup(self, set_index: int, tag: int, write: bool = False) -> AccessResult:
+        """Look up ``tag``; on a hit, update replacement state (and dirty)."""
+        entry = self._set(set_index)
+        way = self.probe(set_index, tag)
+        if way is None:
+            return AccessResult(hit=False)
+        entry.policy.touch(way)
+        if write:
+            entry.dirty[way] = True
+        return AccessResult(hit=True, way=way)
+
+    def insert(self, set_index: int, tag: int, dirty: bool = False) -> AccessResult:
+        """Insert ``tag``, evicting the policy's victim if the set is full.
+
+        Returns an :class:`AccessResult` whose ``way`` is the filled slot
+        and whose ``evicted_tag``/``evicted_dirty`` describe any victim.
+        """
+        entry = self._set(set_index)
+        if tag in entry.tags:
+            raise ValueError(f"tag {tag:#x} already present in set {set_index}")
+        try:
+            way = entry.tags.index(None)
+            evicted_tag, evicted_dirty = None, False
+        except ValueError:
+            way = entry.policy.victim()
+            evicted_tag = entry.tags[way]
+            evicted_dirty = entry.dirty[way]
+        entry.tags[way] = tag
+        entry.dirty[way] = dirty
+        entry.policy.insert(way)
+        return AccessResult(
+            hit=False, way=way, evicted_tag=evicted_tag, evicted_dirty=evicted_dirty
+        )
+
+    def invalidate(self, set_index: int, tag: int) -> Tuple[bool, bool]:
+        """Remove ``tag`` if present.  Returns (was_present, was_dirty)."""
+        entry = self._sets.get(set_index)
+        if entry is None:
+            return (False, False)
+        try:
+            way = entry.tags.index(tag)
+        except ValueError:
+            return (False, False)
+        was_dirty = entry.dirty[way]
+        entry.tags[way] = None
+        entry.dirty[way] = False
+        return (True, was_dirty)
+
+    def replace_way(self, set_index: int, way: int, tag: Optional[int],
+                    dirty: bool = False) -> Tuple[Optional[int], bool]:
+        """Overwrite a specific slot (used by DNUCA's migration swaps).
+
+        Returns the (tag, dirty) pair previously in the slot.
+        """
+        entry = self._set(set_index)
+        old = (entry.tags[way], entry.dirty[way])
+        entry.tags[way] = tag
+        entry.dirty[way] = dirty
+        if tag is not None:
+            entry.policy.touch(way)
+        return old
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def occupied_blocks(self) -> int:
+        return sum(
+            1 for entry in self._sets.values() for t in entry.tags if t is not None
+        )
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.num_sets * self.ways

@@ -1,0 +1,69 @@
+"""Level-1 cache model (64 KB, 2-way, 3-cycle access per Table 3).
+
+The L1 filters the processor's reference stream before it reaches the
+L2 designs under study.  It is a write-back, allocate-on-write-miss
+cache.  Only hit/miss behaviour and writeback generation are modelled —
+the L1's latency is a constant added by the processor model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.cache.address import AddressMap
+from repro.cache.bank import CacheBank
+from repro.sim.stats import Counter
+
+
+@dataclasses.dataclass(frozen=True)
+class L1Access:
+    """Outcome of an L1 access."""
+
+    hit: bool
+    #: block-aligned address that must be written back to L2 (if any).
+    writeback: Optional[int] = None
+
+
+class L1Cache:
+    """A single L1 cache (use two instances for split I/D)."""
+
+    def __init__(self, size_bytes: int = 64 * 1024, ways: int = 2,
+                 block_bytes: int = 64, latency_cycles: int = 3) -> None:
+        if size_bytes % (ways * block_bytes) != 0:
+            raise ValueError("size must be divisible by ways * block size")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.block_bytes = block_bytes
+        self.latency_cycles = latency_cycles
+        num_sets = size_bytes // (ways * block_bytes)
+        self.addr_map = AddressMap(block_bytes=block_bytes, num_sets=num_sets)
+        self.bank = CacheBank(num_sets=num_sets, ways=ways, policy="lru")
+        self.stats = Counter()
+
+    def access(self, addr: int, write: bool = False) -> L1Access:
+        """Access ``addr``; on a miss the block is allocated immediately.
+
+        The caller is responsible for fetching the block from L2 (timing)
+        and for forwarding any returned ``writeback`` address down.
+        """
+        set_index = self.addr_map.set_index(addr)
+        tag = self.addr_map.tag(addr)
+        result = self.bank.lookup(set_index, tag, write=write)
+        if result.hit:
+            self.stats.add("hits")
+            return L1Access(hit=True)
+        self.stats.add("misses")
+        inserted = self.bank.insert(set_index, tag, dirty=write)
+        writeback = None
+        if inserted.evicted_tag is not None and inserted.evicted_dirty:
+            writeback = self.addr_map.rebuild(inserted.evicted_tag, set_index)
+            self.stats.add("writebacks")
+        return L1Access(hit=False, writeback=writeback)
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.stats["hits"] + self.stats["misses"]
+        if total == 0:
+            return 0.0
+        return self.stats["misses"] / total

@@ -1,0 +1,89 @@
+"""Partial-tag structures (Kessler et al. [21], as used by DNUCA and TLCopt).
+
+A partial tag stores only the six least-significant tag bits.  Matching
+the partial tag is necessary but not sufficient for a hit; the structures
+here therefore answer "which candidates *might* hold this block".
+
+Two users in the paper:
+
+* DNUCA keeps a *central* partial-tag array covering every bank of a
+  bank set, consulted in parallel with the closest two banks to direct
+  (or skip — a "fast miss") the search of the remaining banks.
+* The TLCopt designs store a per-bank partial tag next to each data
+  entry so the bank can respond without holding full tags; the central
+  controller completes the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+PARTIAL_TAG_BITS = 6
+PARTIAL_TAG_MASK = (1 << PARTIAL_TAG_BITS) - 1
+
+
+def partial_tag(tag: int) -> int:
+    """The low six bits of a full tag."""
+    return tag & PARTIAL_TAG_MASK
+
+
+class PartialTagArray:
+    """A (position, set) -> partial-tag map mirroring a group of banks.
+
+    ``positions`` is the number of banks covered (16 for a DNUCA bank
+    set) and ``ways`` the associativity of each covered bank.  Entries
+    are kept consistent by the owning cache model calling
+    :meth:`update` / :meth:`clear` whenever it moves blocks — the paper's
+    "significant complexity" of keeping partial tags coherent during
+    migration is exactly this bookkeeping.
+    """
+
+    def __init__(self, positions: int, num_sets: int, ways: int = 1) -> None:
+        if positions <= 0 or num_sets <= 0 or ways <= 0:
+            raise ValueError("positions, num_sets, and ways must be positive")
+        self.positions = positions
+        self.num_sets = num_sets
+        self.ways = ways
+        self._entries: Dict[Tuple[int, int], List[Optional[int]]] = {}
+
+    def _slot(self, position: int, set_index: int) -> List[Optional[int]]:
+        if not 0 <= position < self.positions:
+            raise IndexError(f"position {position} out of range")
+        if not 0 <= set_index < self.num_sets:
+            raise IndexError(f"set index {set_index} out of range")
+        key = (position, set_index)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = [None] * self.ways
+            self._entries[key] = entry
+        return entry
+
+    def update(self, position: int, set_index: int, way: int, tag: int) -> None:
+        """Record that (position, set, way) now holds ``tag``."""
+        self._slot(position, set_index)[way] = partial_tag(tag)
+
+    def clear(self, position: int, set_index: int, way: int) -> None:
+        """Record that (position, set, way) is now empty."""
+        self._slot(position, set_index)[way] = None
+
+    def matches(self, set_index: int, tag: int,
+                exclude: Tuple[int, ...] = ()) -> List[int]:
+        """Positions whose partial tags match ``tag`` in ``set_index``.
+
+        ``exclude`` lists positions already searched (DNUCA's closest two
+        banks), which are skipped.  The result is sorted by position so
+        searches proceed nearest-first.
+        """
+        wanted = partial_tag(tag)
+        found = []
+        for position in range(self.positions):
+            if position in exclude:
+                continue
+            entry = self._entries.get((position, set_index))
+            if entry is not None and wanted in entry:
+                found.append(position)
+        return found
+
+    def storage_bits(self) -> int:
+        """Total storage the array would occupy in hardware, in bits."""
+        return self.positions * self.num_sets * self.ways * PARTIAL_TAG_BITS

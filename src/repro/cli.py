@@ -1,0 +1,251 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``designs`` — list the design registry (Table 2).
+* ``benchmarks`` — list the calibrated workload profiles.
+* ``line <length_cm>`` — extract + grade a transmission line.
+* ``run <design> <benchmark>`` — one experiment cell, full metrics.
+* ``compare <benchmark>`` — all designs on one benchmark, as a chart.
+* ``trace <benchmark>`` — generate and characterize a trace.
+* ``report`` — the full measured-vs-paper markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.figures import grouped_bar_chart
+from repro.analysis.tables import format_table
+from repro.core.config import DESIGNS, design_names
+from repro.sim.system import run_system
+from repro.workloads.profiles import PROFILES, benchmark_names, get_profile
+from repro.workloads.synthetic import generate_trace
+
+
+def _cmd_designs(_args) -> int:
+    rows = []
+    for name, config in DESIGNS.items():
+        low, high = config.uncontended_latency_range
+        rows.append([name, config.kind, config.banks,
+                     f"{config.bank_bytes // 1024} KB",
+                     config.total_lines or "-", f"{low}-{high}"])
+    print(format_table(
+        ["design", "kind", "banks", "bank size", "TL lines", "latency"],
+        rows, title="Design registry (paper Table 2)"))
+    return 0
+
+
+def _cmd_benchmarks(_args) -> int:
+    rows = []
+    for profile in PROFILES.values():
+        spec = profile.spec
+        rows.append([
+            profile.name, profile.suite,
+            f"{profile.l2_requests_per_kinstr:.1f}",
+            f"{spec.hot_blocks * 64 / 2**20:.1f} MB",
+            f"{spec.stream_fraction:.0%}",
+            f"{spec.dependent_fraction:.0%}",
+        ])
+    print(format_table(
+        ["benchmark", "suite", "L2 refs/kinstr", "hot set", "stream", "dep"],
+        rows, title="Calibrated workload profiles (paper Tables 4/5)"))
+    return 0
+
+
+def _cmd_line(args) -> int:
+    from repro.tline import evaluate_link
+
+    length_m = args.length_cm / 100.0
+    try:
+        report = evaluate_link(length_m)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"geometry class : {report.geometry.name} "
+          f"(W={report.geometry.width * 1e6:.1f} um, "
+          f"S={report.geometry.spacing * 1e6:.1f} um)")
+    print(f"impedance      : {report.line.z0:.1f} ohm")
+    print(f"flight time    : {report.line.flight_time * 1e12:.1f} ps "
+          f"({report.latency_cycles} cycle at 10 GHz)")
+    print(f"received pulse : {report.amplitude_fraction:.0%} of Vdd "
+          f"(need >= 75%), width {report.width_fraction:.0%} of a cycle "
+          f"(need >= 40%)")
+    print(f"verdict        : {'USABLE' if report.usable else 'REJECTED'}")
+    return 0 if report.usable else 2
+
+
+def _cmd_run(args) -> int:
+    result = run_system(args.design, args.benchmark, n_refs=args.refs,
+                        seed=args.seed)
+    rows = [
+        ["cycles", result.cycles],
+        ["instructions", result.instructions],
+        ["IPC", round(result.ipc, 3)],
+        ["L2 requests", result.l2_requests],
+        ["L2 miss ratio", f"{result.miss_ratio:.2%}"],
+        ["misses / kinstr", round(result.misses_per_kinstr, 3)],
+        ["mean lookup latency", f"{result.mean_lookup_latency:.1f} cycles"],
+        ["predictable lookups", f"{result.predictable_lookup_fraction:.0%}"],
+        ["banks / request", round(result.banks_accessed_per_request, 2)],
+        ["link utilization", f"{result.link_utilization:.1%}"],
+        ["network power", f"{result.network_power_w * 1000:.0f} mW"],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.design} on {args.benchmark} "
+                             f"({args.refs} refs, seed {args.seed})"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    designs = args.designs or list(design_names())
+    profile = get_profile(args.benchmark)
+    trace = generate_trace(profile.spec, args.refs, seed=args.seed)
+    results = {design: run_system(design, args.benchmark, trace=trace)
+               for design in designs}
+    baseline_name = "SNUCA2" if "SNUCA2" in results else designs[0]
+    baseline = results[baseline_name].cycles
+
+    norm = {"normalized time": {d: r.cycles / baseline
+                                for d, r in results.items()}}
+    print(grouped_bar_chart(
+        norm, designs, width=44, reference_line=1.0,
+        title=f"Execution time on {args.benchmark}, "
+              f"normalized to {baseline_name}"))
+    print()
+    lookup = {"mean lookup (cycles)": {d: r.mean_lookup_latency
+                                       for d, r in results.items()}}
+    print(grouped_bar_chart(lookup, designs, width=44,
+                            value_format="{:.1f}",
+                            title="Mean lookup latency"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.workloads.stats import summarize
+
+    profile = get_profile(args.benchmark)
+    trace = generate_trace(profile.spec, args.refs, seed=args.seed)
+    summary = summarize(trace)
+    rows = [["references", summary.references],
+            ["instructions", summary.instructions],
+            ["footprint", f"{summary.footprint_bytes / 2**20:.1f} MB"],
+            ["writes", f"{summary.write_fraction:.0%}"],
+            ["dependent", f"{summary.dependent_fraction:.0%}"],
+            ["L2 refs / kinstr", round(summary.l2_refs_per_kinstr, 1)],
+            ["LRU miss @ 16 MB (predicted)",
+             f"{summary.predicted_miss_ratio_16mb:.1%}"]]
+    print(format_table(["property", "value"], rows,
+                       title=f"Trace characterization: {args.benchmark}"))
+    if args.out:
+        from repro.workloads.trace import save_trace
+        save_trace(args.out, trace)
+        print(f"\ntrace written to {args.out}")
+    return 0
+
+
+def _cmd_grid(args) -> int:
+    from repro.analysis.experiments import run_design_grid
+    from repro.analysis.storage import load_grid, save_grid
+
+    if args.load:
+        grid = load_grid(args.load)
+        print(f"loaded grid from {args.load}")
+    else:
+        grid = run_design_grid(designs=args.designs or ("SNUCA2", "DNUCA", "TLC"),
+                               benchmarks=args.benchmarks or None,
+                               n_refs=args.refs, seed=args.seed)
+    if args.save:
+        save_grid(args.save, grid)
+        print(f"grid saved to {args.save}")
+
+    baseline = grid.designs[0]
+    rows = []
+    for bench in grid.benchmarks:
+        rows.append([bench] + [
+            round(grid.normalized_execution_time(design, bench, baseline), 3)
+            for design in grid.designs
+        ])
+    print(format_table(["benchmark"] + list(grid.designs), rows,
+                       title=f"Normalized execution time ({baseline} = 1.0)"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import build_report
+
+    text = build_report(n_refs=args.refs)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TLC: Transmission Line Caches — reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("designs", help="list the design registry").set_defaults(
+        func=_cmd_designs)
+    sub.add_parser("benchmarks", help="list workload profiles").set_defaults(
+        func=_cmd_benchmarks)
+
+    line = sub.add_parser("line", help="grade a transmission line")
+    line.add_argument("length_cm", type=float, help="routed length in cm")
+    line.set_defaults(func=_cmd_line)
+
+    run = sub.add_parser("run", help="run one design on one benchmark")
+    run.add_argument("design", choices=list(design_names()))
+    run.add_argument("benchmark", choices=list(benchmark_names()))
+    run.add_argument("--refs", type=int, default=20_000)
+    run.add_argument("--seed", type=int, default=7)
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare", help="all designs on one benchmark")
+    compare.add_argument("benchmark", choices=list(benchmark_names()))
+    compare.add_argument("--designs", nargs="+",
+                         choices=list(design_names()))
+    compare.add_argument("--refs", type=int, default=15_000)
+    compare.add_argument("--seed", type=int, default=7)
+    compare.set_defaults(func=_cmd_compare)
+
+    trace = sub.add_parser("trace", help="generate + characterize a trace")
+    trace.add_argument("benchmark", choices=list(benchmark_names()))
+    trace.add_argument("--refs", type=int, default=20_000)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--out", help="write the trace to this path")
+    trace.set_defaults(func=_cmd_trace)
+
+    grid = sub.add_parser("grid", help="run/save/load an experiment grid")
+    grid.add_argument("--designs", nargs="+", choices=list(design_names()))
+    grid.add_argument("--benchmarks", nargs="+",
+                      choices=list(benchmark_names()))
+    grid.add_argument("--refs", type=int, default=15_000)
+    grid.add_argument("--seed", type=int, default=7)
+    grid.add_argument("--save", help="write the grid to this JSON path")
+    grid.add_argument("--load", help="load a grid instead of running")
+    grid.set_defaults(func=_cmd_grid)
+
+    report = sub.add_parser("report", help="full measured-vs-paper report")
+    report.add_argument("--refs", type=int, default=20_000)
+    report.add_argument("--out", help="write markdown to this path")
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

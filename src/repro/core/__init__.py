@@ -1,0 +1,43 @@
+"""The paper's contribution: the Transmission Line Cache design family.
+
+Exports the TLC designs themselves, the shared L2 design interface, and
+the Table 2 configuration registry (which also covers the NUCA
+baselines implemented in :mod:`repro.nuca`).
+"""
+
+from repro.core.base import L2Design, L2Outcome
+from repro.core.config import (
+    DesignConfig,
+    DESIGNS,
+    TLC_BASE,
+    TLC_OPT_1000,
+    TLC_OPT_500,
+    TLC_OPT_350,
+    SNUCA2,
+    DNUCA,
+    design_names,
+    get_design,
+    build_design,
+)
+from repro.core.controller import TLCController
+from repro.core.tlc import TransmissionLineCache
+from repro.core.tlc_opt import OptimizedTLC
+
+__all__ = [
+    "L2Design",
+    "L2Outcome",
+    "DesignConfig",
+    "DESIGNS",
+    "TLC_BASE",
+    "TLC_OPT_1000",
+    "TLC_OPT_500",
+    "TLC_OPT_350",
+    "SNUCA2",
+    "DNUCA",
+    "design_names",
+    "get_design",
+    "build_design",
+    "TLCController",
+    "TransmissionLineCache",
+    "OptimizedTLC",
+]

@@ -1,0 +1,154 @@
+"""The shared interface and bookkeeping for all L2 cache designs.
+
+Every design (TLC family and NUCA baselines) exposes one method::
+
+    outcome = design.access(addr, time, write=False)
+
+where ``time`` is the cycle the request reaches the L2 controller and
+the returned :class:`L2Outcome` carries the completion time plus the
+classification the paper's evaluation needs (hit/miss, lookup latency,
+latency predictability, banks touched).
+
+Designs update *functional* state (which block lives where) immediately
+and compute *timing* through FIFO resource models, which is exact for
+the arrival-ordered request stream a single core produces.  The base
+class centralizes the statistics the evaluation section reports, so the
+experiment harness can treat every design uniformly:
+
+* ``stats``: requests, hits, misses, writebacks, bank accesses, ...
+* ``lookup_latencies``: Histogram feeding Fig. 6 (mean lookup latency)
+  and Table 6's predictable-lookup percentage.
+* ``network_energy_j``: accumulated interconnect energy for Table 9.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Optional
+
+from repro.sim.memory import MainMemory
+from repro.sim.stats import Counter, Histogram
+from repro.tech import Technology, TECH_45NM
+
+
+@dataclasses.dataclass(frozen=True)
+class L2Outcome:
+    """Result of one L2 access."""
+
+    #: cycle the critical word is available to the requester (reads), or
+    #: the cycle the write was accepted (writes).
+    complete_time: int
+    hit: bool
+    #: cycles from controller arrival to hit data / miss determination.
+    lookup_latency: int
+    #: True when the latency matched the static prediction a scheduler
+    #: would have made (Table 6, columns 7-8).
+    predictable: bool
+    write: bool = False
+
+
+class L2Design(abc.ABC):
+    """Base class: statistics plumbing shared by every design."""
+
+    #: human-readable design name, set by subclasses.
+    name: str = "l2"
+
+    #: how pre-warm blocks should be ordered for this design:
+    #: "popular_last" leaves the popular blocks most-recently-used (right
+    #: for LRU designs); DNUCA overrides with "popular_first" so popular
+    #: blocks claim the banks nearest the controller.
+    install_order: str = "popular_last"
+
+    def __init__(self, memory: Optional[MainMemory] = None,
+                 tech: Technology = TECH_45NM) -> None:
+        self.memory = memory if memory is not None else MainMemory()
+        self.tech = tech
+        self.stats = Counter()
+        self.lookup_latencies = Histogram()
+        self._network_energy_acc = 0.0
+
+    # -- the design-specific part ----------------------------------------
+    @abc.abstractmethod
+    def access(self, addr: int, time: int, write: bool = False) -> L2Outcome:
+        """Process one request arriving at the controller at ``time``."""
+
+    @abc.abstractmethod
+    def link_utilization(self, elapsed_cycles: int) -> float:
+        """Average utilization of the design's data links (Fig. 7)."""
+
+    @abc.abstractmethod
+    def install(self, addr: int, dirty: bool = False) -> None:
+        """Functionally place a block in the cache, with no timing cost.
+
+        Used to pre-warm the cache to a plausible steady state before a
+        measured run — the stand-in for the paper's multi-billion-
+        instruction fast-forward phase.  Evictions during installation
+        are silent (no writebacks, no statistics).
+        """
+
+    def reset_stats(self) -> None:
+        """Clear all measurement state (used at the warmup boundary).
+
+        Functional cache contents and resource busy times are preserved;
+        only the statistics the evaluation reports are zeroed.
+        """
+        self.stats = Counter()
+        self.lookup_latencies = Histogram()
+        self._network_energy_acc = 0.0
+        self.memory.stats = Counter()
+        self._reset_stats_extra()
+
+    def _reset_stats_extra(self) -> None:
+        """Hook for subclasses to clear design-specific meters."""
+
+    # -- shared bookkeeping ------------------------------------------------
+    def _record(self, outcome: L2Outcome, banks_accessed: int) -> None:
+        self.stats.add("requests")
+        self.stats.add("bank_accesses", banks_accessed)
+        if outcome.write:
+            self.stats.add("writes")
+        else:
+            self.stats.add("reads")
+            if outcome.hit:
+                # Fig. 6 plots the latency of lookups that return data.
+                self.lookup_latencies.record(outcome.lookup_latency)
+            if outcome.predictable:
+                self.stats.add("predictable_lookups")
+        if outcome.hit:
+            self.stats.add("hits")
+        else:
+            self.stats.add("misses")
+
+    # -- derived metrics the tables report ---------------------------------
+    @property
+    def miss_ratio(self) -> float:
+        return self.stats.ratio("misses", "requests")
+
+    @property
+    def banks_accessed_per_request(self) -> float:
+        return self.stats.ratio("bank_accesses", "requests")
+
+    @property
+    def predictable_lookup_fraction(self) -> float:
+        """Fraction of read lookups whose latency matched the prediction."""
+        return self.stats.ratio("predictable_lookups", "reads")
+
+    @property
+    def mean_lookup_latency(self) -> float:
+        return self.lookup_latencies.mean
+
+    def network_energy_j(self) -> float:
+        """Total interconnect dynamic energy so far, joules.
+
+        The TLC designs accumulate per-transfer signalling energy; the
+        NUCA designs override this to price their mesh traffic.
+        """
+        return self._network_energy_acc
+
+    def network_power_w(self, elapsed_cycles: int) -> float:
+        """Average network dynamic power over the run, watts (Table 9)."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        elapsed_s = elapsed_cycles * self.tech.cycle_s
+        return self.network_energy_j() / elapsed_s

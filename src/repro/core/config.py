@@ -1,0 +1,250 @@
+"""Design-parameter registry: the paper's Table 2.
+
+One :class:`DesignConfig` per design — the four TLC designs plus the two
+NUCA baselines — carrying every parameter the timing, area, and power
+models need.  ``build_design`` instantiates the matching simulator
+class.
+
+Derived quantities (link widths, controller delays) follow the paper's
+constraints:
+
+* Base TLC: each adjacent bank pair shares two 8-byte unidirectional
+  links (128 lines/pair, 2048 total); uncontended latency 10-16 cycles
+  = 1 (TL) + 8 (bank) + 1 (TL) + 0..6 cycles of round-trip controller
+  wire delay depending on where the pair's lines land on the controller.
+* TLCopt: request links are 22 bits (set index + 6-bit partial tag +
+  command); the rest of each pair's lines form the response link.  The
+  smaller controllers add at most one cycle (TLCopt 1000) or none
+  (500/350), giving the 12-13 / 12 / 12 cycle uncontended latencies.
+* DNUCA: 16 bank sets x 16 banks on a 16x16 mesh, 3-cycle banks,
+  1-cycle hops -> 3..47 cycles uncontended.
+* SNUCA2: 32 static banks on an 8x4 mesh, 8-cycle banks, 2-cycle hops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.sim.memory import MainMemory
+from repro.tech import Technology, TECH_45NM
+
+#: Bits on a TLCopt request link: 13 set-index + 6 partial-tag + 3 command.
+OPT_REQUEST_LINK_BITS = 22
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignConfig:
+    """Parameters of one cache design (a row of Table 2, plus internals)."""
+
+    name: str
+    kind: str  # "tlc", "tlcopt", "snuca", "dnuca"
+    banks: int
+    bank_bytes: int
+    bank_access_cycles: int
+    banks_per_block: int = 1
+    associativity: int = 4
+    replacement: str = "lru"
+    # TLC-family parameters.
+    lines_per_pair: int = 0
+    #: round-trip controller wire delay for each bank pair, cycles.
+    controller_rt_delays: Tuple[int, ...] = ()
+    # NUCA parameters.
+    mesh_columns: int = 0
+    mesh_rows: int = 0
+    mesh_flit_bits: int = 128
+    mesh_hop_latency: int = 1
+    mesh_hop_length_m: float = 0.66e-3
+    partial_tag_latency: int = 2
+    #: DNUCA only: disable for the ablation where a closest-two miss must
+    #: search every remaining bank of the set (no fast misses either).
+    use_partial_tags: bool = True
+    #: DNUCA only: banks a block moves toward the controller per hit.
+    promotion_distance: int = 1
+    #: DNUCA only: where blocks from memory enter the bank set
+    #: ("tail" = furthest bank, the paper's policy; "head" = closest).
+    insertion_position: str = "tail"
+    #: DNUCA only: how partial-tag candidates are searched
+    #: ("multicast" = all at once; "incremental" = nearest first, one at
+    #: a time — less bank traffic, longer worst-case latency).
+    search_mode: str = "multicast"
+    controller_overhead: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.banks * self.bank_bytes
+
+    @property
+    def pairs(self) -> int:
+        """Bank pairs sharing a link bundle (TLC family only)."""
+        return self.banks // 2
+
+    @property
+    def total_lines(self) -> int:
+        """Total transmission lines used (Table 2, column 6)."""
+        return self.lines_per_pair * self.pairs
+
+    @property
+    def request_link_bits(self) -> int:
+        if self.kind == "tlc":
+            return self.lines_per_pair // 2  # 64 bits: an 8-byte link
+        if self.kind == "tlcopt":
+            return OPT_REQUEST_LINK_BITS
+        raise ValueError(f"{self.name} has no transmission-line links")
+
+    @property
+    def response_link_bits(self) -> int:
+        if self.kind == "tlc":
+            return self.lines_per_pair // 2
+        if self.kind == "tlcopt":
+            return self.lines_per_pair - OPT_REQUEST_LINK_BITS
+        raise ValueError(f"{self.name} has no transmission-line links")
+
+    @property
+    def uncontended_latency_range(self) -> Tuple[int, int]:
+        """Min/max uncontended read-hit latency (Table 2, column 7)."""
+        if self.kind in ("tlc", "tlcopt"):
+            base = 2 + self.bank_access_cycles  # TL out + bank + TL back
+            delays = self.controller_rt_delays or (0,)
+            return (base + min(delays), base + max(delays))
+        bank = self.bank_access_cycles
+        max_hops = (self.mesh_columns // 2 - 1) + (self.mesh_rows - 1)
+        per_hop = 2 * self.mesh_hop_latency
+        oh = self.controller_overhead  # applied once, at request injection
+        return (bank + oh, bank + oh + max_hops * per_hop)
+
+
+def _tlc_controller_delays(pairs: int, max_delay: int) -> Tuple[int, ...]:
+    """Round-trip controller wire delay per pair, from landing position.
+
+    A pair's lines land on the controller edge at a height matching the
+    pair's row on the die edge, so rows near the die's vertical centre
+    reach the central logic with no extra wire while the extreme rows
+    pay up to ``max_delay`` round-trip cycles — consistent with the
+    floorplan model, where the same central rows also get the shortest
+    transmission lines.
+    """
+    per_side = pairs // 2
+    centre = (per_side - 1) / 2.0
+    dist_min, dist_max = 0.5, centre  # nearest / farthest row distances
+    if dist_max <= dist_min:
+        return (0,) * pairs
+    side = tuple(
+        round(max_delay * (abs(i - centre) - dist_min) / (dist_max - dist_min))
+        for i in range(per_side)
+    )
+    return side + side
+
+
+TLC_BASE = DesignConfig(
+    name="TLC",
+    kind="tlc",
+    banks=32,
+    bank_bytes=512 * 1024,
+    bank_access_cycles=8,
+    banks_per_block=1,
+    lines_per_pair=128,
+    controller_rt_delays=_tlc_controller_delays(16, 6),
+)
+
+TLC_OPT_1000 = DesignConfig(
+    name="TLCopt1000",
+    kind="tlcopt",
+    banks=16,
+    bank_bytes=1024 * 1024,
+    bank_access_cycles=10,
+    banks_per_block=2,
+    lines_per_pair=126,
+    controller_rt_delays=_tlc_controller_delays(8, 1),
+)
+
+TLC_OPT_500 = DesignConfig(
+    name="TLCopt500",
+    kind="tlcopt",
+    banks=16,
+    bank_bytes=1024 * 1024,
+    bank_access_cycles=10,
+    banks_per_block=4,
+    lines_per_pair=64,
+    controller_rt_delays=(0,) * 8,
+)
+
+TLC_OPT_350 = DesignConfig(
+    name="TLCopt350",
+    kind="tlcopt",
+    banks=16,
+    bank_bytes=1024 * 1024,
+    bank_access_cycles=10,
+    banks_per_block=8,
+    lines_per_pair=44,
+    controller_rt_delays=(0,) * 8,
+)
+
+SNUCA2 = DesignConfig(
+    name="SNUCA2",
+    kind="snuca",
+    banks=32,
+    bank_bytes=512 * 1024,
+    bank_access_cycles=8,
+    mesh_columns=8,
+    mesh_rows=4,
+    mesh_hop_latency=2,
+    mesh_hop_length_m=1.6e-3,
+    controller_overhead=1,
+)
+
+DNUCA = DesignConfig(
+    name="DNUCA",
+    kind="dnuca",
+    banks=256,
+    bank_bytes=64 * 1024,
+    bank_access_cycles=3,
+    associativity=1,  # direct-mapped within each bank; 16-way across the set
+    mesh_columns=16,
+    mesh_rows=16,
+    mesh_hop_latency=1,
+    mesh_hop_length_m=0.66e-3,
+)
+
+DESIGNS: Dict[str, DesignConfig] = {
+    cfg.name: cfg
+    for cfg in (TLC_BASE, TLC_OPT_1000, TLC_OPT_500, TLC_OPT_350, SNUCA2, DNUCA)
+}
+
+
+def design_names() -> Tuple[str, ...]:
+    return tuple(DESIGNS)
+
+
+def get_design(name: str) -> DesignConfig:
+    try:
+        return DESIGNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown design {name!r}; choose from {sorted(DESIGNS)}"
+        ) from None
+
+
+def build_design(name: str, memory: Optional[MainMemory] = None,
+                 tech: Technology = TECH_45NM, **overrides):
+    """Instantiate the simulator for design ``name``.
+
+    ``overrides`` replace fields of the registered config (e.g.
+    ``replacement="frequency"`` for the ablation study).
+    """
+    config = get_design(name)
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    # Imported lazily: the design modules import this one for the configs.
+    from repro.core.tlc import TransmissionLineCache
+    from repro.core.tlc_opt import OptimizedTLC
+    from repro.nuca.snuca import StaticNUCA
+    from repro.nuca.dnuca import DynamicNUCA
+
+    builders = {
+        "tlc": TransmissionLineCache,
+        "tlcopt": OptimizedTLC,
+        "snuca": StaticNUCA,
+        "dnuca": DynamicNUCA,
+    }
+    return builders[config.kind](config, memory=memory, tech=tech)

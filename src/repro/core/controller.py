@@ -1,0 +1,117 @@
+"""The central TLC cache controller.
+
+The controller owns the transmission-line link bundles (one request and
+one response link per bank pair), the per-pair internal wire delays, and
+the physical characterization of each pair's lines.  Pairs further from
+the controller's centre connect through longer internal conventional
+wires (up to 3 extra round-trip cycles in the base design — the spread
+behind Table 2's 10-16 cycle range) and through longer transmission
+lines (0.9 / 1.1 / 1.3 cm classes from Table 1), which sets the
+per-bit signalling energy used in the Table 9 power accounting.
+
+The controller is also where full-tag comparison happens in the TLCopt
+designs and where end-to-end ECC would be generated and checked; both
+are timing-neutral here (the compare fits in the already-counted
+controller wire cycles).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.config import DesignConfig
+from repro.interconnect.link import Link, Transfer
+from repro.sim.stats import UtilizationMeter
+from repro.tech import Technology, TECH_45NM
+from repro.tline.extraction import extract
+from repro.tline.geometry import tl_geometry_for_length, TABLE1_LINES
+from repro.tline.power import transmission_line_energy_per_bit
+
+
+class TLCController:
+    """Link bundles, wire delays, and energy accounting for a TLC design."""
+
+    def __init__(self, config: DesignConfig, tech: Technology = TECH_45NM) -> None:
+        if config.kind not in ("tlc", "tlcopt"):
+            raise ValueError(f"{config.name} is not a TLC-family design")
+        self.config = config
+        self.tech = tech
+        pairs = config.pairs
+        #: one meter across every link; Fig. 7 reports the average.
+        self.meter = UtilizationMeter(resources=2 * pairs)
+        self.request_links: List[Link] = []
+        self.response_links: List[Link] = []
+        self._energy_per_bit: List[float] = []
+        self._line_lengths = self._pair_line_lengths()
+        for pair in range(pairs):
+            length = self._line_lengths[pair]
+            geometry = tl_geometry_for_length(length)
+            line = extract(geometry, tech)
+            flight = 1  # every Table 1 line flies in one 10 GHz cycle
+            self.request_links.append(
+                Link(config.request_link_bits, flight, self.meter, length)
+            )
+            self.response_links.append(
+                Link(config.response_link_bits, flight, self.meter, length)
+            )
+            self._energy_per_bit.append(
+                transmission_line_energy_per_bit(line.z0, tech)
+            )
+
+    def _pair_line_lengths(self) -> List[float]:
+        """Per-pair routed line lengths, from the computed floorplan.
+
+        Falls back to interpolating across Table 1's span when the
+        configuration cannot be floorplanned (e.g. exotic bank counts in
+        ablation studies).
+        """
+        try:
+            from repro.area.layout import build_floorplan
+
+            return list(build_floorplan(self.config, tech=self.tech)
+                        .pair_line_lengths_m)
+        except ValueError:
+            min_len = TABLE1_LINES[0].length
+            max_len = TABLE1_LINES[-1].length
+            per_side = max(1, self.config.pairs // 2)
+            return [
+                min_len + (pair % per_side) / max(1, per_side - 1)
+                * (max_len - min_len)
+                for pair in range(self.config.pairs)
+            ]
+
+    # -- wire-delay split --------------------------------------------------
+    def request_delay(self, pair: int) -> int:
+        """Controller-internal wire cycles on the request path."""
+        return self.config.controller_rt_delays[pair] // 2
+
+    def response_delay(self, pair: int) -> int:
+        """Controller-internal wire cycles on the response path."""
+        rt = self.config.controller_rt_delays[pair]
+        return rt - rt // 2
+
+    def uncontended_latency(self, pair: int) -> int:
+        """Read-hit latency with idle links and bank (Table 2, column 7)."""
+        return 2 + self.config.bank_access_cycles + self.config.controller_rt_delays[pair]
+
+    # -- transfers ----------------------------------------------------------
+    def send_request(self, pair: int, time: int, bits: int,
+                     contend: bool = True) -> Tuple[Transfer, float]:
+        """Controller -> bank.  Returns the transfer and its energy (J)."""
+        transfer = self.request_links[pair].send(
+            time + self.request_delay(pair), bits, contend)
+        return transfer, bits * self._energy_per_bit[pair]
+
+    def send_response(self, pair: int, time: int, bits: int,
+                      contend: bool = True) -> Tuple[Transfer, int, float]:
+        """Bank -> controller.  Returns (transfer, arrival-at-logic, energy).
+
+        The arrival time adds the controller-internal wire delay after the
+        critical word lands at the controller edge.
+        """
+        transfer = self.response_links[pair].send(time, bits, contend)
+        arrival = transfer.first_arrival + self.response_delay(pair)
+        return transfer, arrival, bits * self._energy_per_bit[pair]
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        return self.meter.utilization(elapsed_cycles)

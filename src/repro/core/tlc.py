@@ -1,0 +1,182 @@
+"""The base Transmission Line Cache (Section 4, Figure 2).
+
+32 x 512 KB banks line the die edges; each adjacent pair of banks shares
+two 8-byte unidirectional transmission-line links to the central
+controller.  Blocks map to banks statically (address interleaving), so
+exactly one bank is accessed per request — the source of TLC's
+consistent latency, single-bank power profile (Table 9), and trivially
+predictable lookups.
+
+Read timing (uncontended): controller wire (0-3) + transmission line (1)
++ bank (8) + transmission line (1) + controller wire (0-3) = 10-16
+cycles, Table 2's range.  Contention arises only at the shared pair
+links and at the banks themselves ("TLC encounters more bank contention
+due to its fewer banks and longer bank access latencies").
+
+Stores need no tag comparison (the design is an exclusive write-back
+cache): the incoming block is simply written, evicting the set's LRU
+victim if needed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.address import AddressMap
+from repro.cache.bank import CacheBank
+from repro.core.base import L2Design, L2Outcome
+from repro.core.config import DesignConfig, TLC_BASE
+from repro.core.controller import TLCController
+from repro.interconnect.message import BLOCK_BITS, REQUEST_BITS
+from repro.sim.memory import MainMemory
+from repro.tech import Technology, TECH_45NM
+
+
+class TransmissionLineCache(L2Design):
+    """The base TLC design."""
+
+    def __init__(self, config: DesignConfig = TLC_BASE,
+                 memory: Optional[MainMemory] = None,
+                 tech: Technology = TECH_45NM) -> None:
+        super().__init__(memory=memory, tech=tech)
+        if config.kind != "tlc":
+            raise ValueError(f"{config.name} is not a base TLC config")
+        self.config = config
+        self.name = config.name
+        sets_per_bank = config.bank_bytes // (64 * config.associativity)
+        self.addr_map = AddressMap(block_bytes=64, num_sets=sets_per_bank,
+                                   banks=config.banks)
+        self.banks: List[CacheBank] = [
+            CacheBank(sets_per_bank, config.associativity, config.replacement)
+            for _ in range(config.banks)
+        ]
+        self.controller = TLCController(config, tech)
+        self._bank_busy_until = [0] * config.banks
+
+    # -- timing helpers ----------------------------------------------------
+    def _bank_access(self, bank: int, ready: int, contend: bool = True) -> int:
+        """Occupy the bank; returns the cycle its access completes.
+
+        ``contend=False`` (refills arriving from memory) models the port
+        time without reserving the bank against earlier demand requests.
+        """
+        if not contend:
+            return ready + self.config.bank_access_cycles
+        start = max(ready, self._bank_busy_until[bank])
+        done = start + self.config.bank_access_cycles
+        self._bank_busy_until[bank] = done
+        return done
+
+    def uncontended_latency(self, addr: int) -> int:
+        pair = self.addr_map.bank_index(addr) // 2
+        return self.controller.uncontended_latency(pair)
+
+    # -- the access path ----------------------------------------------------
+    def access(self, addr: int, time: int, write: bool = False) -> L2Outcome:
+        bank_idx = self.addr_map.bank_index(addr)
+        pair = bank_idx // 2
+        set_index = self.addr_map.set_index(addr)
+        tag = self.addr_map.tag(addr)
+        bank = self.banks[bank_idx]
+
+        if write:
+            outcome = self._write(bank, bank_idx, pair, set_index, tag, time)
+        else:
+            outcome = self._read(bank, bank_idx, pair, set_index, tag, time)
+        self._record(outcome, banks_accessed=1)
+        return outcome
+
+    def _read(self, bank: CacheBank, bank_idx: int, pair: int,
+              set_index: int, tag: int, time: int) -> L2Outcome:
+        request, energy = self.controller.send_request(pair, time, REQUEST_BITS)
+        self._network_energy_acc += energy
+        bank_done = self._bank_access(bank_idx, request.first_arrival)
+        lookup = bank.lookup(set_index, tag)
+        expected = self.controller.uncontended_latency(pair)
+
+        if lookup.hit:
+            _, arrival, energy = self.controller.send_response(
+                pair, bank_done, BLOCK_BITS)
+            self._network_energy_acc += energy
+            latency = arrival - time
+            return L2Outcome(
+                complete_time=arrival,
+                hit=True,
+                lookup_latency=latency,
+                predictable=(latency == expected),
+            )
+
+        # Miss: the bank's tag compare fails; a short ack tells the
+        # controller, which fetches from memory and refills the bank.
+        _, miss_at, energy = self.controller.send_response(
+            pair, bank_done, REQUEST_BITS)
+        self._network_energy_acc += energy
+        latency = miss_at - time
+        mem_done = self.memory.read(miss_at)
+        self._refill(bank, bank_idx, pair, set_index, tag, mem_done)
+        return L2Outcome(
+            complete_time=mem_done,
+            hit=False,
+            lookup_latency=latency,
+            predictable=(latency == expected),
+        )
+
+    def _write(self, bank: CacheBank, bank_idx: int, pair: int,
+               set_index: int, tag: int, time: int) -> L2Outcome:
+        # Store/writeback: address and a full block ride the request link;
+        # no tag comparison is needed (exclusive write-back design).
+        request, energy = self.controller.send_request(
+            pair, time, REQUEST_BITS + BLOCK_BITS)
+        self._network_energy_acc += energy
+        self._bank_access(bank_idx, request.last_arrival)
+        hit = bank.lookup(set_index, tag, write=True).hit
+        if not hit:
+            self._insert(bank, bank_idx, pair, set_index, tag,
+                         request.last_arrival, dirty=True)
+        return L2Outcome(
+            complete_time=request.last_arrival,
+            hit=hit,
+            lookup_latency=0,
+            predictable=True,
+            write=True,
+        )
+
+    def _refill(self, bank: CacheBank, bank_idx: int, pair: int,
+                set_index: int, tag: int, time: int) -> None:
+        """Install a block fetched from memory (occupies the request link)."""
+        refill, energy = self.controller.send_request(
+            pair, time, REQUEST_BITS + BLOCK_BITS, contend=False)
+        self._network_energy_acc += energy
+        self._bank_access(bank_idx, refill.last_arrival, contend=False)
+        self._insert(bank, bank_idx, pair, set_index, tag,
+                     refill.last_arrival, dirty=False)
+
+    def _insert(self, bank: CacheBank, bank_idx: int, pair: int,
+                set_index: int, tag: int, time: int, dirty: bool) -> None:
+        result = bank.insert(set_index, tag, dirty=dirty)
+        if result.evicted_tag is not None and result.evicted_dirty:
+            # Victim writeback: block travels bank -> controller -> memory.
+            _, arrival, energy = self.controller.send_response(
+                pair, time, BLOCK_BITS, contend=False)
+            self._network_energy_acc += energy
+            self.memory.write(arrival)
+            self.stats.add("writebacks")
+
+    def link_utilization(self, elapsed_cycles: int) -> float:
+        return self.controller.utilization(elapsed_cycles)
+
+    def install(self, addr: int, dirty: bool = False) -> None:
+        bank = self.banks[self.addr_map.bank_index(addr)]
+        set_index = self.addr_map.set_index(addr)
+        tag = self.addr_map.tag(addr)
+        if bank.probe(set_index, tag) is None:
+            bank.insert(set_index, tag, dirty=dirty)
+            # A pre-warmed block was, by definition, referenced: touch it
+            # so recency-ordered installs hold under any insertion policy.
+            bank.lookup(set_index, tag)
+
+    def _reset_stats_extra(self) -> None:
+        self.controller.meter.busy_cycles = 0
+        for link in self.controller.request_links + self.controller.response_links:
+            link.bits_sent = 0
+            link.transfers = 0

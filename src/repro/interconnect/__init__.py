@@ -1,0 +1,21 @@
+"""On-chip interconnect substrate: links, messages, and the NUCA mesh."""
+
+from repro.interconnect.message import (
+    flits_for_bits,
+    REQUEST_BITS,
+    BLOCK_BITS,
+    BLOCK_BYTES,
+)
+from repro.interconnect.link import Link, Transfer
+from repro.interconnect.mesh import MeshNetwork, MeshPath
+
+__all__ = [
+    "flits_for_bits",
+    "REQUEST_BITS",
+    "BLOCK_BITS",
+    "BLOCK_BYTES",
+    "Link",
+    "Transfer",
+    "MeshNetwork",
+    "MeshPath",
+]

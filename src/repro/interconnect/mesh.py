@@ -1,0 +1,166 @@
+"""The 2-D switched mesh used by the NUCA designs (paper Figure 1).
+
+Banks form ``columns`` x ``rows`` grid; the cache controller sits at the
+middle of the bottom edge.  A message to bank (column c, position p)
+crosses ``hd`` horizontal edge links (hd = 0 for the two centre columns)
+and ``p`` vertical links up the column, paying ``hop_latency`` cycles of
+switch-plus-wire delay per hop — giving DNUCA's 3..47-cycle uncontended
+range for a 16 x 16 grid with 3-cycle banks, and SNUCA2's 9..32-ish range
+for an 8 x 4 grid of slower, larger banks.
+
+Wormhole switching: the head flit advances one hop per ``hop_latency``
+cycles and each traversed link stays busy for the message's full flit
+count, so contention appears wherever message paths overlap — the
+paper's "contention in the routing network to and from the banks".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.interconnect.link import Link
+from repro.interconnect.message import flits_for_bits
+from repro.sim.stats import UtilizationMeter
+
+LinkKey = Tuple[str, int, int, int]  # (kind, column, index, direction)
+
+
+@dataclasses.dataclass(frozen=True)
+class MeshPath:
+    """A routed path plus the timing of a transfer along it."""
+
+    links: Tuple[LinkKey, ...]
+    start: int
+    first_arrival: int
+    last_arrival: int
+    queued_cycles: int
+
+    @property
+    def hops(self) -> int:
+        return len(self.links)
+
+
+class MeshNetwork:
+    """A controller-rooted mesh over ``columns`` x ``rows`` banks."""
+
+    def __init__(self, columns: int, rows: int, flit_bits: int,
+                 hop_latency: int = 1, hop_length_m: float = 0.66e-3) -> None:
+        if columns < 2 or columns % 2:
+            raise ValueError("columns must be an even number >= 2")
+        if rows < 1:
+            raise ValueError("rows must be positive")
+        self.columns = columns
+        self.rows = rows
+        self.flit_bits = flit_bits
+        self.hop_latency = hop_latency
+        self.hop_length_m = hop_length_m
+        # Directed links: horizontal edge links + vertical column links.
+        self.meter = UtilizationMeter(resources=self._count_links())
+        self._links: Dict[LinkKey, Link] = {}
+        self.bit_hops = 0
+        self.switch_traversals = 0
+
+    def _count_links(self) -> int:
+        horizontal = 2 * (self.columns - 1)
+        vertical = 2 * self.columns * (self.rows - 1)
+        return horizontal + vertical
+
+    def _link(self, key: LinkKey) -> Link:
+        link = self._links.get(key)
+        if link is None:
+            link = Link(self.flit_bits, flight_cycles=self.hop_latency,
+                        meter=self.meter, length_m=self.hop_length_m)
+            self._links[key] = link
+        return link
+
+    # -- routing ---------------------------------------------------------
+    def horizontal_distance(self, column: int) -> int:
+        """Edge hops from the centred controller to ``column``."""
+        if not 0 <= column < self.columns:
+            raise IndexError(f"column {column} out of range")
+        centre_right = self.columns // 2
+        if column >= centre_right:
+            return column - centre_right
+        return (centre_right - 1) - column
+
+    def hops_to(self, column: int, position: int) -> int:
+        """One-way hop count from the controller to bank (column, position)."""
+        if not 0 <= position < self.rows:
+            raise IndexError(f"position {position} out of range")
+        return self.horizontal_distance(column) + position
+
+    def uncontended_latency(self, column: int, position: int,
+                            bank_cycles: int) -> int:
+        """Round-trip network plus bank access latency, no contention."""
+        return 2 * self.hops_to(column, position) * self.hop_latency + bank_cycles
+
+    def _route(self, column: int, position: int, outbound: bool) -> Tuple[LinkKey, ...]:
+        """Links from controller to (column, position); reversed if inbound."""
+        links: List[LinkKey] = []
+        centre_right = self.columns // 2
+        direction = 1 if outbound else -1
+        if column >= centre_right:
+            for j in range(centre_right, column):
+                links.append(("h", j, 0, direction))
+        else:
+            for j in range(centre_right - 2, column - 1, -1):
+                links.append(("h", j, 0, -direction))
+        for r in range(position):
+            links.append(("v", column, r, direction))
+        if not outbound:
+            links.reverse()
+        return tuple(links)
+
+    # -- transfers -------------------------------------------------------
+    def send(self, column: int, position: int, time: int, message_bits: int,
+             outbound: bool, contend: bool = True) -> MeshPath:
+        """Route a message controller<->bank and account for contention.
+
+        ``contend=False`` (fill/writeback traffic scheduled in the
+        future) consumes bandwidth for accounting but does not reserve
+        links against earlier demand traffic — see ``Link.send``.
+        """
+        links = self._route(column, position, outbound)
+        flits = flits_for_bits(message_bits, self.flit_bits)
+        head = time
+        start = time
+        for i, key in enumerate(links):
+            transfer = self._link(key).send(head, message_bits, contend)
+            if i == 0:
+                start = transfer.start
+            head = transfer.first_arrival
+        self.bit_hops += message_bits * len(links)
+        self.switch_traversals += len(links)
+        return MeshPath(
+            links=links,
+            start=start,
+            first_arrival=head,
+            last_arrival=head + flits - 1,
+            queued_cycles=start - time,
+        )
+
+    def transfer_between(self, column: int, upper_position: int, time: int,
+                         message_bits: int, upward: bool) -> MeshPath:
+        """One-hop bank-to-adjacent-bank transfer (DNUCA promotion swaps).
+
+        Moves a message between (column, upper_position-1) and
+        (column, upper_position) over the single vertical link joining
+        them; ``upward`` selects the direction away from the controller.
+        """
+        if not 1 <= upper_position < self.rows:
+            raise IndexError("upper_position must be in [1, rows)")
+        key: LinkKey = ("v", column, upper_position - 1, 1 if upward else -1)
+        transfer = self._link(key).send(time, message_bits)
+        self.bit_hops += message_bits
+        self.switch_traversals += 1
+        return MeshPath(
+            links=(key,),
+            start=transfer.start,
+            first_arrival=transfer.first_arrival,
+            last_arrival=transfer.last_arrival,
+            queued_cycles=transfer.queued_cycles,
+        )
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        return self.meter.utilization(elapsed_cycles)

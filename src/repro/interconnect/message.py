@@ -1,0 +1,31 @@
+"""Message sizing shared by all interconnect models.
+
+Caches exchange two kinds of messages: short request/command messages
+(an address, a command, and for TLCopt a partial tag) and data messages
+carrying some or all of a 64-byte cache block.  Links serialize messages
+into *flits* of the link's width; link widths are expressed in bits
+because the optimized TLC designs use links narrower than a byte
+multiple (Table 2's 44-line design).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Size of a request/command/ack message in bits (address + command).
+REQUEST_BITS = 64
+
+#: Cache block size used throughout the paper (Table 3), in bits.
+BLOCK_BITS = 64 * 8
+
+#: Cache block size in bytes.
+BLOCK_BYTES = 64
+
+
+def flits_for_bits(message_bits: int, link_width_bits: int) -> int:
+    """Number of link-width flits needed to carry ``message_bits``."""
+    if message_bits <= 0:
+        raise ValueError("message size must be positive")
+    if link_width_bits <= 0:
+        raise ValueError("link width must be positive")
+    return math.ceil(message_bits / link_width_bits)

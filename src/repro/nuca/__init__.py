@@ -1,0 +1,6 @@
+"""The NUCA baselines from Kim et al. (ASPLOS 2002): SNUCA2 and DNUCA."""
+
+from repro.nuca.snuca import StaticNUCA
+from repro.nuca.dnuca import DynamicNUCA
+
+__all__ = ["StaticNUCA", "DynamicNUCA"]

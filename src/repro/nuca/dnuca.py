@@ -1,0 +1,389 @@
+"""DNUCA: the Dynamic Non-Uniform Cache Architecture baseline (Kim et al.).
+
+16 MB organized as 16 *bank sets* (one per mesh column) of 16 direct-
+mapped 64 KB banks — a 16-way set-associative cache whose ways are
+physically spread from 3 to 47 cycles away from the controller.
+
+Mechanisms implemented, following Section 2 of the paper:
+
+* **Closest-two parallel lookup**: every request probes the two nearest
+  banks of its bank set while the central 6-bit partial-tag array is
+  consulted in parallel.
+* **Partial-tag directed search**: on a closest-two miss, only banks
+  whose partial tag matches are searched; if none match anywhere the
+  request is a *fast miss*, resolved at the fixed partial-tag latency.
+* **Generational promotion**: every hit in a non-nearest bank swaps the
+  block one bank closer to the controller, displacing the occupant one
+  bank further.  The swap moves two blocks over the vertical link
+  between the banks and briefly occupies both banks — the migration
+  bandwidth DNUCA pays for its locality.
+* **Insert at tail**: blocks arriving from memory enter the furthest
+  bank of their bank set, evicting (and writing back, if dirty) its
+  occupant.  On streaming workloads with few re-references this policy
+  never pays off — the paper's swim/applu observation.
+
+The partial-tag array is updated synchronously with every insert, evict,
+and swap; the paper's "complex synchronization mechanism" guaranteeing
+that a search never misses an in-flight block is modelled by these
+atomic functional updates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cache.address import AddressMap
+from repro.cache.bank import CacheBank
+from repro.cache.partial_tags import PartialTagArray
+from repro.core.base import L2Design, L2Outcome
+from repro.core.config import DesignConfig, DNUCA
+from repro.interconnect.mesh import MeshNetwork
+from repro.interconnect.message import BLOCK_BITS, REQUEST_BITS
+from repro.sim.memory import MainMemory
+from repro.tech import Technology, TECH_45NM
+
+#: Banks probed in parallel on every lookup.
+CLOSEST_BANKS = (0, 1)
+
+
+class DynamicNUCA(L2Design):
+    """The DNUCA design."""
+
+    def __init__(self, config: DesignConfig = DNUCA,
+                 memory: Optional[MainMemory] = None,
+                 tech: Technology = TECH_45NM) -> None:
+        super().__init__(memory=memory, tech=tech)
+        if config.kind != "dnuca":
+            raise ValueError(f"{config.name} is not a DNUCA config")
+        if config.insertion_position not in ("tail", "head"):
+            raise ValueError("insertion_position must be 'tail' or 'head'")
+        if config.search_mode not in ("multicast", "incremental"):
+            raise ValueError("search_mode must be 'multicast' or 'incremental'")
+        if config.promotion_distance < 1:
+            raise ValueError("promotion_distance must be at least 1")
+        self.config = config
+        self.name = config.name
+        self.banksets = config.mesh_columns
+        self.positions = config.mesh_rows
+        sets_per_bank = config.bank_bytes // (64 * config.associativity)
+        self.sets_per_bank = sets_per_bank
+        self.addr_map = AddressMap(block_bytes=64, num_sets=sets_per_bank,
+                                   banks=self.banksets)
+        # banks[column][position]; position 0 is nearest the controller.
+        self.banks: List[List[CacheBank]] = [
+            [CacheBank(sets_per_bank, config.associativity, config.replacement)
+             for _ in range(self.positions)]
+            for _ in range(self.banksets)
+        ]
+        self.partial_tags: List[PartialTagArray] = [
+            PartialTagArray(self.positions, sets_per_bank, config.associativity)
+            for _ in range(self.banksets)
+        ]
+        self.mesh = MeshNetwork(config.mesh_columns, config.mesh_rows,
+                                config.mesh_flit_bits, config.mesh_hop_latency,
+                                config.mesh_hop_length_m)
+        self._bank_busy_until = [
+            [0] * self.positions for _ in range(self.banksets)
+        ]
+        # Fast-path state for bulk pre-warming: per-(column, set) tags
+        # installed so far, valid only until the first timed access.
+        self._install_seen: Optional[dict] = {}
+
+    # -- functional helpers ------------------------------------------------
+    def _find(self, column: int, set_index: int, tag: int) -> Optional[Tuple[int, int]]:
+        """(position, way) currently holding ``tag``, or None."""
+        for position in range(self.positions):
+            way = self.banks[column][position].probe(set_index, tag)
+            if way is not None:
+                return position, way
+        return None
+
+    def _bank_access(self, column: int, position: int, ready: int,
+                     contend: bool = True) -> int:
+        if not contend:
+            return ready + self.config.bank_access_cycles
+        start = max(ready, self._bank_busy_until[column][position])
+        done = start + self.config.bank_access_cycles
+        self._bank_busy_until[column][position] = done
+        return done
+
+    def uncontended_latency_of(self, column: int, position: int) -> int:
+        return self.mesh.uncontended_latency(column, position,
+                                             self.config.bank_access_cycles)
+
+    # -- the access path ----------------------------------------------------
+    def access(self, addr: int, time: int, write: bool = False) -> L2Outcome:
+        self._install_seen = None  # timed accesses invalidate the fast path
+        column = self.addr_map.bank_index(addr)
+        set_index = self.addr_map.set_index(addr)
+        tag = self.addr_map.tag(addr)
+        outcome, banks_accessed = self._lookup(column, set_index, tag, time, write)
+        self._record(outcome, banks_accessed)
+        return outcome
+
+    def _lookup(self, column: int, set_index: int, tag: int, time: int,
+                write: bool) -> Tuple[L2Outcome, int]:
+        holder = self._find(column, set_index, tag)
+        pta = self.partial_tags[column]
+        all_matches = pta.matches(set_index, tag)
+
+        # Probe the closest two banks (in parallel with the partial tags).
+        probe_done = {}
+        for position in CLOSEST_BANKS:
+            request = self.mesh.send(column, position, time, REQUEST_BITS, True)
+            probe_done[position] = self._bank_access(column, position,
+                                                     request.first_arrival)
+        banks_accessed = len(CLOSEST_BANKS)
+
+        if holder is not None and holder[0] in CLOSEST_BANKS:
+            position = holder[0]
+            outcome = self._hit(column, position, holder[1], set_index, tag,
+                                time, probe_done[position], write,
+                                close_hit=True)
+            self.stats.add("close_hits")
+            return outcome, banks_accessed
+
+        # Closest-two miss.  Miss acks flow back while the partial tags
+        # direct (or rule out) a wider search.
+        ack_times = [
+            self.mesh.send(column, p, probe_done[p], REQUEST_BITS, False).first_arrival
+            for p in CLOSEST_BANKS
+        ]
+        if self.config.use_partial_tags:
+            search_candidates = [p for p in all_matches if p not in CLOSEST_BANKS]
+        else:
+            # Ablation: no partial tags, so every remaining bank must be
+            # searched and no miss can be declared early.
+            all_matches = list(range(self.positions))
+            search_candidates = [p for p in range(self.positions)
+                                 if p not in CLOSEST_BANKS]
+
+        if not search_candidates:
+            if not all_matches:
+                # Fast miss: no partial tag matched anywhere, so the miss
+                # is known at the fixed partial-tag latency.
+                miss_at = time + self.config.partial_tag_latency
+                self.stats.add("fast_misses")
+                predictable = True
+            else:
+                # A closest-bank partial tag matched but the full tag
+                # didn't; the controller must wait for the probe acks.
+                miss_at = max(ack_times)
+                predictable = False
+            return (self._miss(column, set_index, tag, time, miss_at,
+                               predictable, write), banks_accessed)
+
+        # Directed search of the partial-tag candidates.  If a closest
+        # bank's partial tag matched, its probe might still hit and the
+        # controller waits for the acks; otherwise the partial tags have
+        # already ruled the closest banks out and the search launches at
+        # the partial-tag latency.
+        close_partial_match = any(p in CLOSEST_BANKS for p in all_matches)
+        search_start = time + self.config.partial_tag_latency
+        if close_partial_match:
+            search_start = max([search_start] + ack_times)
+
+        if self.config.search_mode == "incremental":
+            return self._incremental_search(column, set_index, tag, time,
+                                            search_start, search_candidates,
+                                            banks_accessed, holder, write)
+
+        banks_accessed += len(search_candidates)
+        search_done = {}
+        for position in search_candidates:
+            request = self.mesh.send(column, position, search_start,
+                                     REQUEST_BITS, True)
+            search_done[position] = self._bank_access(column, position,
+                                                      request.first_arrival)
+
+        if holder is not None and holder[0] in search_done:
+            position = holder[0]
+            outcome = self._hit(column, position, holder[1], set_index, tag,
+                                time, search_done[position], write,
+                                close_hit=False)
+            return outcome, banks_accessed
+
+        # Every candidate was a partial-tag false positive.
+        search_acks = [
+            self.mesh.send(column, p, done, REQUEST_BITS, False).first_arrival
+            for p, done in search_done.items()
+        ]
+        miss_at = max(search_acks)
+        return (self._miss(column, set_index, tag, time, miss_at,
+                           predictable=False, write=write), banks_accessed)
+
+    def _incremental_search(self, column: int, set_index: int, tag: int,
+                            time: int, search_start: int,
+                            candidates, banks_accessed: int,
+                            holder, write: bool) -> Tuple[L2Outcome, int]:
+        """Probe candidates nearest-first, one at a time.
+
+        Saves bank accesses whenever an early candidate hits, at the
+        cost of serialized round trips when it does not — the
+        latency/bandwidth trade-off of Kim et al.'s incremental search.
+        """
+        now = search_start
+        for position in candidates:
+            banks_accessed += 1
+            request = self.mesh.send(column, position, now, REQUEST_BITS, True)
+            done = self._bank_access(column, position, request.first_arrival)
+            if holder is not None and holder[0] == position:
+                outcome = self._hit(column, position, holder[1], set_index,
+                                    tag, time, done, write, close_hit=False)
+                return outcome, banks_accessed
+            ack = self.mesh.send(column, position, done, REQUEST_BITS, False)
+            now = ack.first_arrival
+        return (self._miss(column, set_index, tag, time, now,
+                           predictable=False, write=write), banks_accessed)
+
+    # -- hit / miss handling ----------------------------------------------------
+    def _hit(self, column: int, position: int, way: int, set_index: int,
+             tag: int, time: int, bank_done: int, write: bool,
+             close_hit: bool) -> L2Outcome:
+        bank = self.banks[column][position]
+        bank.lookup(set_index, tag, write=write)
+        if write:
+            # The store's data follows the probe to the located bank.
+            data = self.mesh.send(column, position, bank_done, BLOCK_BITS, True)
+            complete = data.last_arrival
+            outcome = L2Outcome(complete, True, 0, predictable=True, write=True)
+        else:
+            response = self.mesh.send(column, position, bank_done, BLOCK_BITS, False)
+            latency = response.first_arrival - time
+            expected = self.uncontended_latency_of(column, position)
+            predictable = close_hit and latency == expected
+            outcome = L2Outcome(response.first_arrival, True, latency, predictable)
+        if position > 0:
+            self._promote(column, position, way, set_index,
+                          outcome.complete_time)
+        return outcome
+
+    def _promote(self, column: int, position: int, way: int, set_index: int,
+                 time: int) -> None:
+        """Swap the hit block ``promotion_distance`` banks closer."""
+        target = max(0, position - self.config.promotion_distance)
+        upper = self.banks[column][position]
+        lower = self.banks[column][target]
+        moving_tag, moving_dirty = upper.tag_at(set_index, way), upper.dirty_at(set_index, way)
+        displaced = lower.replace_way(set_index, way, moving_tag, moving_dirty)
+        upper.replace_way(set_index, way, displaced[0], displaced[1])
+        pta = self.partial_tags[column]
+        if moving_tag is not None:
+            pta.update(target, set_index, way, moving_tag)
+        if displaced[0] is not None:
+            pta.update(position, set_index, way, displaced[0])
+        else:
+            pta.clear(position, set_index, way)
+        # Two block transfers over every vertical link between the banks,
+        # which briefly occupies both endpoint banks as well.
+        transfer_time = time
+        for hop in range(target + 1, position + 1):
+            self.mesh.transfer_between(column, hop, transfer_time,
+                                       BLOCK_BITS, upward=False)
+            self.mesh.transfer_between(column, hop, transfer_time,
+                                       BLOCK_BITS, upward=True)
+        self._bank_access(column, position, time)
+        self._bank_access(column, target, time)
+        self.stats.add("promotions")
+
+    def _miss(self, column: int, set_index: int, tag: int, time: int,
+              miss_at: int, predictable: bool, write: bool) -> L2Outcome:
+        latency = miss_at - time
+        if write:
+            # An L1 writeback that missed everywhere: insert at the tail
+            # without a memory fetch (the block is the full 64 bytes).
+            insert_at = self._insert_at_tail(column, set_index, tag, miss_at,
+                                             dirty=True)
+            return L2Outcome(insert_at, False, 0, predictable=True, write=True)
+        mem_done = self.memory.read(miss_at)
+        self._insert_at_tail(column, set_index, tag, mem_done, dirty=False)
+        return L2Outcome(mem_done, False, latency, predictable)
+
+    def _insert_at_tail(self, column: int, set_index: int, tag: int,
+                        time: int, dirty: bool) -> int:
+        """Insert per the configured insertion position (tail by default)."""
+        if self.config.insertion_position == "tail":
+            entry = self.positions - 1
+        else:
+            entry = 0
+        transfer = self.mesh.send(column, entry, time,
+                                  REQUEST_BITS + BLOCK_BITS, True, contend=False)
+        accepted = self._bank_access(column, entry, transfer.last_arrival,
+                                     contend=False)
+        bank = self.banks[column][entry]
+        result = bank.insert(set_index, tag, dirty=dirty)
+        pta = self.partial_tags[column]
+        pta.update(entry, set_index, result.way, tag)
+        self.stats.add("insertions")
+        if result.evicted_tag is not None and result.evicted_dirty:
+            writeback = self.mesh.send(column, entry, accepted, BLOCK_BITS,
+                                       False, contend=False)
+            self.memory.write(writeback.last_arrival)
+            self.stats.add("writebacks")
+        return accepted
+
+    #: pre-warm blocks arrive most-popular-first (see L2Design.install).
+    install_order = "popular_first"
+
+    def install(self, addr: int, dirty: bool = False) -> None:
+        """Place a block in the shallowest empty bank of its set.
+
+        Blocks are installed most-popular-first, so the popular ones
+        claim the positions nearest the controller — the distribution
+        generational promotion converges to after a long warm-up.
+        """
+        column = self.addr_map.bank_index(addr)
+        set_index = self.addr_map.set_index(addr)
+        tag = self.addr_map.tag(addr)
+        pta = self.partial_tags[column]
+        if self._install_seen is not None and self.config.associativity == 1:
+            # Bulk pre-warm fast path: no timed access has run yet, so
+            # set occupancy equals the tags installed here.
+            seen = self._install_seen.setdefault((column, set_index), set())
+            if tag in seen:
+                return
+            position = min(len(seen), self.positions - 1)
+            bank = self.banks[column][position]
+            if len(seen) >= self.positions:
+                seen.discard(bank.tag_at(set_index, 0))
+            bank.replace_way(set_index, 0, tag, dirty)
+            pta.update(position, set_index, 0, tag)
+            seen.add(tag)
+            return
+        if self._find(column, set_index, tag) is not None:
+            return
+        for position in range(self.positions):
+            bank = self.banks[column][position]
+            for way in range(bank.ways):
+                if bank.tag_at(set_index, way) is None:
+                    bank.replace_way(set_index, way, tag, dirty)
+                    pta.update(position, set_index, way, tag)
+                    return
+        # Set completely full: silently replace the tail occupant.
+        tail = self.positions - 1
+        self.banks[column][tail].replace_way(set_index, 0, tag, dirty)
+        pta.update(tail, set_index, 0, tag)
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def promotes_per_insert(self) -> float:
+        """Table 6, column 6: block promotions per insertion."""
+        return self.stats.ratio("promotions", "insertions")
+
+    @property
+    def close_hit_fraction(self) -> float:
+        """Table 6, column 5: fraction of reads hitting the closest banks."""
+        return self.stats.ratio("close_hits", "requests")
+
+    def link_utilization(self, elapsed_cycles: int) -> float:
+        return self.mesh.utilization(elapsed_cycles)
+
+    def _reset_stats_extra(self) -> None:
+        self.mesh.meter.busy_cycles = 0
+        self.mesh.bit_hops = 0
+        self.mesh.switch_traversals = 0
+
+    def network_energy_j(self) -> float:
+        wire = self.tech.conventional_energy_per_bit(self.mesh.hop_length_m)
+        per_bit_hop = wire + self.tech.switch_energy_per_bit
+        return self.mesh.bit_hops * per_bit_hop

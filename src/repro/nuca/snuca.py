@@ -1,0 +1,158 @@
+"""SNUCA2: the statically partitioned NUCA baseline (Kim et al.).
+
+32 x 512 KB banks on an 8 x 4 switched mesh with conventional repeated
+wires.  Blocks map to banks by address interleaving — no migration, no
+search.  Uncontended latency spans 9-33 cycles depending on which bank
+an address happens to live in (Table 2 reports 9-32 for the authors'
+floorplan), which is the non-uniformity both DNUCA and TLC attack.
+
+SNUCA2 is the Figure 5 / Figure 8 normalization baseline: every other
+design's execution time is reported relative to it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.address import AddressMap
+from repro.cache.bank import CacheBank
+from repro.core.base import L2Design, L2Outcome
+from repro.core.config import DesignConfig, SNUCA2
+from repro.interconnect.mesh import MeshNetwork
+from repro.interconnect.message import BLOCK_BITS, REQUEST_BITS
+from repro.sim.memory import MainMemory
+from repro.tech import Technology, TECH_45NM
+
+
+class StaticNUCA(L2Design):
+    """The SNUCA2 design."""
+
+    def __init__(self, config: DesignConfig = SNUCA2,
+                 memory: Optional[MainMemory] = None,
+                 tech: Technology = TECH_45NM) -> None:
+        super().__init__(memory=memory, tech=tech)
+        if config.kind != "snuca":
+            raise ValueError(f"{config.name} is not an SNUCA config")
+        self.config = config
+        self.name = config.name
+        sets_per_bank = config.bank_bytes // (64 * config.associativity)
+        self.addr_map = AddressMap(block_bytes=64, num_sets=sets_per_bank,
+                                   banks=config.banks)
+        self.banks: List[CacheBank] = [
+            CacheBank(sets_per_bank, config.associativity, config.replacement)
+            for _ in range(config.banks)
+        ]
+        self.mesh = MeshNetwork(config.mesh_columns, config.mesh_rows,
+                                config.mesh_flit_bits, config.mesh_hop_latency,
+                                config.mesh_hop_length_m)
+        self._bank_busy_until = [0] * config.banks
+
+    # -- geometry ------------------------------------------------------------
+    def _grid(self, bank_idx: int):
+        return bank_idx % self.config.mesh_columns, bank_idx // self.config.mesh_columns
+
+    def uncontended_latency(self, addr: int) -> int:
+        column, position = self._grid(self.addr_map.bank_index(addr))
+        return (self.config.controller_overhead
+                + self.mesh.uncontended_latency(column, position,
+                                                self.config.bank_access_cycles))
+
+    def _bank_access(self, bank: int, ready: int, contend: bool = True) -> int:
+        if not contend:
+            return ready + self.config.bank_access_cycles
+        start = max(ready, self._bank_busy_until[bank])
+        done = start + self.config.bank_access_cycles
+        self._bank_busy_until[bank] = done
+        return done
+
+    # -- the access path --------------------------------------------------------
+    def access(self, addr: int, time: int, write: bool = False) -> L2Outcome:
+        bank_idx = self.addr_map.bank_index(addr)
+        column, position = self._grid(bank_idx)
+        set_index = self.addr_map.set_index(addr)
+        tag = self.addr_map.tag(addr)
+        bank = self.banks[bank_idx]
+        t_inject = time + self.config.controller_overhead
+
+        if write:
+            outcome = self._write(bank, bank_idx, column, position,
+                                  set_index, tag, t_inject)
+        else:
+            outcome = self._read(bank, bank_idx, column, position,
+                                 set_index, tag, time, t_inject)
+        self._record(outcome, banks_accessed=1)
+        return outcome
+
+    def _read(self, bank: CacheBank, bank_idx: int, column: int, position: int,
+              set_index: int, tag: int, time: int, t_inject: int) -> L2Outcome:
+        request = self.mesh.send(column, position, t_inject, REQUEST_BITS, True)
+        done = self._bank_access(bank_idx, request.first_arrival)
+        expected = self.uncontended_latency_of(column, position)
+        if bank.lookup(set_index, tag).hit:
+            response = self.mesh.send(column, position, done, BLOCK_BITS, False)
+            latency = response.first_arrival - time
+            return L2Outcome(response.first_arrival, True, latency,
+                             predictable=(latency == expected))
+        ack = self.mesh.send(column, position, done, REQUEST_BITS, False)
+        latency = ack.first_arrival - time
+        mem_done = self.memory.read(ack.first_arrival)
+        self._refill(bank, bank_idx, column, position, set_index, tag, mem_done)
+        return L2Outcome(mem_done, False, latency,
+                         predictable=(latency == expected))
+
+    def uncontended_latency_of(self, column: int, position: int) -> int:
+        return (self.config.controller_overhead
+                + self.mesh.uncontended_latency(column, position,
+                                                self.config.bank_access_cycles))
+
+    def _write(self, bank: CacheBank, bank_idx: int, column: int, position: int,
+               set_index: int, tag: int, t_inject: int) -> L2Outcome:
+        request = self.mesh.send(column, position, t_inject,
+                                 REQUEST_BITS + BLOCK_BITS, True)
+        accepted = self._bank_access(bank_idx, request.last_arrival)
+        hit = bank.lookup(set_index, tag, write=True).hit
+        if not hit:
+            self._insert(bank, bank_idx, column, position, set_index, tag,
+                         accepted, dirty=True)
+        return L2Outcome(accepted, hit, 0, predictable=True, write=True)
+
+    def _refill(self, bank: CacheBank, bank_idx: int, column: int, position: int,
+                set_index: int, tag: int, time: int) -> None:
+        refill = self.mesh.send(column, position, time,
+                                REQUEST_BITS + BLOCK_BITS, True, contend=False)
+        self._bank_access(bank_idx, refill.last_arrival, contend=False)
+        self._insert(bank, bank_idx, column, position, set_index, tag,
+                     refill.last_arrival, dirty=False)
+
+    def _insert(self, bank: CacheBank, bank_idx: int, column: int, position: int,
+                set_index: int, tag: int, time: int, dirty: bool) -> None:
+        result = bank.insert(set_index, tag, dirty=dirty)
+        if result.evicted_tag is not None and result.evicted_dirty:
+            writeback = self.mesh.send(column, position, time, BLOCK_BITS,
+                                       False, contend=False)
+            self.memory.write(writeback.last_arrival)
+            self.stats.add("writebacks")
+
+    def install(self, addr: int, dirty: bool = False) -> None:
+        bank = self.banks[self.addr_map.bank_index(addr)]
+        set_index = self.addr_map.set_index(addr)
+        tag = self.addr_map.tag(addr)
+        if bank.probe(set_index, tag) is None:
+            bank.insert(set_index, tag, dirty=dirty)
+            # A pre-warmed block was, by definition, referenced: touch it
+            # so recency-ordered installs hold under any insertion policy.
+            bank.lookup(set_index, tag)
+
+    # -- reporting -----------------------------------------------------------
+    def link_utilization(self, elapsed_cycles: int) -> float:
+        return self.mesh.utilization(elapsed_cycles)
+
+    def _reset_stats_extra(self) -> None:
+        self.mesh.meter.busy_cycles = 0
+        self.mesh.bit_hops = 0
+        self.mesh.switch_traversals = 0
+
+    def network_energy_j(self) -> float:
+        wire = self.tech.conventional_energy_per_bit(self.mesh.hop_length_m)
+        per_bit_hop = wire + self.tech.switch_energy_per_bit
+        return self.mesh.bit_hops * per_bit_hop

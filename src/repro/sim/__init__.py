@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel, processor, and memory models."""
+
+from repro.sim.engine import Engine
+from repro.sim.stats import Counter, Histogram, UtilizationMeter
+from repro.sim.memory import MainMemory
+from repro.sim.processor import ProcessorConfig, Processor, ExecutionResult
+from repro.sim.system import System, SystemResult, run_system
+from repro.sim.full_system import FullSystem, FullSystemResult
+
+__all__ = [
+    "Engine",
+    "Counter",
+    "Histogram",
+    "UtilizationMeter",
+    "MainMemory",
+    "ProcessorConfig",
+    "Processor",
+    "ExecutionResult",
+    "System",
+    "SystemResult",
+    "run_system",
+    "FullSystem",
+    "FullSystemResult",
+]

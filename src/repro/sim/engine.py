@@ -1,0 +1,86 @@
+"""A minimal discrete-event simulation engine.
+
+The timing models in this library are mostly *resource based*: links,
+banks, and switches are modelled as FIFO resources with a busy-until
+time, which is exact for the single-requester, arrival-ordered streams a
+uniprocessor produces.  The event engine exists for the places where
+genuine out-of-order completion matters — memory responses, writeback
+drains, and multi-bank stripe joins — and for users building their own
+models on top of the substrate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Tuple
+
+
+class Engine:
+    """A heap-scheduled discrete-event engine with an integer cycle clock."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[Tuple[int, int, Callable[[], Any]]] = []
+
+    @property
+    def now(self) -> int:
+        """The current simulation time in cycles."""
+        return self._now
+
+    def schedule(self, delay: int, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` to run at absolute cycle ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        heapq.heappush(self._queue, (time, self._seq, callback))
+        self._seq += 1
+
+    def run(self, until: int | None = None) -> int:
+        """Run events in time order.
+
+        Stops when the queue is empty, or — if ``until`` is given — when
+        the next event would fire after ``until`` (the clock is then
+        advanced to ``until``).  Returns the final simulation time.
+        """
+        while self._queue:
+            time, _seq, callback = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = time
+            callback()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Run a single event.  Returns False if the queue was empty."""
+        if not self._queue:
+            return False
+        time, _seq, callback = heapq.heappop(self._queue)
+        self._now = time
+        callback()
+        return True
+
+    @property
+    def pending(self) -> int:
+        """Number of events waiting in the queue."""
+        return len(self._queue)
+
+    def advance(self, cycles: int) -> None:
+        """Advance the clock without running events (used by replay models)."""
+        if cycles < 0:
+            raise ValueError("cannot advance backwards")
+        target = self._now + cycles
+        if self._queue and self._queue[0][0] < target:
+            raise RuntimeError("advance() would skip over pending events")
+        self._now = target

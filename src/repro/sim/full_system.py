@@ -1,0 +1,154 @@
+"""Full-system mode: CPU-level references through a simulated L1.
+
+The main pipeline replays L2-level traces (the L1 filter is folded into
+the workload calibration).  ``FullSystem`` instead simulates the
+Table 3 memory hierarchy end to end: a 64 KB 2-way L1 data cache in
+front of any L2 design, with L1 writebacks forwarded down as L2 writes.
+
+The processor model is the same as :class:`~repro.sim.processor.Processor`
+— issue-width front end, ROB window, MSHRs, dependence chains — with
+the L1 resolving most references at its 3-cycle latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.cache.l1 import L1Cache
+from repro.core.config import build_design
+from repro.sim.memory import MainMemory
+from repro.sim.processor import ProcessorConfig
+from repro.tech import Technology, TECH_45NM
+from repro.workloads.trace import Reference
+
+
+@dataclasses.dataclass(frozen=True)
+class FullSystemResult:
+    """Outcome of a full-system run."""
+
+    cycles: int
+    instructions: int
+    cpu_references: int
+    l1_hits: int
+    l1_misses: int
+    l1_writebacks: int
+    l2_requests: int
+    l2_misses: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_misses / total if total else 0.0
+
+
+class FullSystem:
+    """Core + L1D + (any) L2 design + memory."""
+
+    def __init__(self, design_name: str,
+                 processor_config: Optional[ProcessorConfig] = None,
+                 tech: Technology = TECH_45NM,
+                 l1: Optional[L1Cache] = None,
+                 **design_overrides) -> None:
+        self.config = processor_config or ProcessorConfig()
+        self.memory = MainMemory()
+        self.l1 = l1 if l1 is not None else L1Cache(
+            latency_cycles=self.config.l1_latency)
+        self.l2 = build_design(design_name, memory=self.memory, tech=tech,
+                               **design_overrides)
+
+    def prewarm(self, l2_spec) -> int:
+        """Install an L2-level spec's resident population into the L2.
+
+        Returns the number of blocks installed.  The L1 is left cold (it
+        warms in a few thousand references anyway).
+        """
+        from repro.workloads.synthetic import resident_block_addresses
+
+        addresses = resident_block_addresses(l2_spec)
+        ordered = (addresses if self.l2.install_order == "popular_last"
+                   else reversed(addresses))
+        count = 0
+        for addr in ordered:
+            self.l2.install(addr)
+            count += 1
+        return count
+
+    def run(self, trace: Iterable[Reference]) -> FullSystemResult:
+        """Replay a CPU-level trace through L1 and L2."""
+        cfg = self.config
+        cycle = 0
+        instr = 0
+        gap_remainder = 0
+        loads = deque()   # (instr index, completion time) of L1-miss loads
+        stores = deque()  # L2 write acceptance times
+        last_load_complete = 0
+        l1_hits = l1_misses = writebacks = 0
+
+        for ref in trace:
+            instr += ref.gap
+            total_gap = ref.gap + gap_remainder
+            cycle += total_gap // cfg.issue_width
+            gap_remainder = total_gap % cfg.issue_width
+
+            window_floor = instr - cfg.rob_entries
+            while loads and loads[0][0] <= window_floor:
+                _, done = loads.popleft()
+                if done > cycle:
+                    cycle = done
+
+            if ref.dependent and last_load_complete > cycle:
+                cycle = last_load_complete
+
+            access = self.l1.access(ref.addr, write=ref.write)
+            if access.hit:
+                l1_hits += 1
+                if not ref.write:
+                    last_load_complete = cycle + self.l1.latency_cycles
+                continue
+            l1_misses += 1
+
+            while len(loads) + len(stores) >= cfg.mshrs:
+                earliest_load = loads[0][1] if loads else None
+                earliest_store = stores[0] if stores else None
+                if earliest_store is None or (
+                        earliest_load is not None
+                        and earliest_load <= earliest_store):
+                    _, done = loads.popleft()
+                else:
+                    done = stores.popleft()
+                if done > cycle:
+                    cycle = done
+
+            outcome = self.l2.access(ref.addr, cycle + cfg.l1_latency,
+                                     write=ref.write)
+            if ref.write:
+                stores.append(outcome.complete_time)
+            else:
+                loads.append((instr, outcome.complete_time))
+                last_load_complete = outcome.complete_time
+
+            if access.writeback is not None:
+                writebacks += 1
+                self.l2.access(access.writeback, cycle + cfg.l1_latency,
+                               write=True)
+
+        for _, done in loads:
+            if done > cycle:
+                cycle = done
+
+        return FullSystemResult(
+            cycles=cycle,
+            instructions=instr,
+            cpu_references=l1_hits + l1_misses,
+            l1_hits=l1_hits,
+            l1_misses=l1_misses,
+            l1_writebacks=writebacks,
+            l2_requests=self.l2.stats["requests"],
+            l2_misses=self.l2.stats["misses"],
+        )

@@ -1,0 +1,137 @@
+"""Statistics primitives shared by all timing models.
+
+Three small classes cover everything the paper reports:
+
+* :class:`Counter` — named event counts (hits, misses, promotions, ...).
+* :class:`Histogram` — integer-valued latency distributions, from which
+  mean lookup latency (Fig. 6) and predictability (Table 6) are derived.
+* :class:`UtilizationMeter` — busy-cycle accounting for links
+  (Fig. 7's link utilization).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Tuple
+
+
+class Counter:
+    """A bag of named integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``counts[numerator] / counts[denominator]`` (0.0 if empty)."""
+        denom = self._counts.get(denominator, 0)
+        if denom == 0:
+            return 0.0
+        return self._counts.get(numerator, 0) / denom
+
+
+class Histogram:
+    """A sparse histogram over integer values (e.g. latencies in cycles)."""
+
+    def __init__(self) -> None:
+        self._bins: Dict[int, int] = defaultdict(int)
+        self._count = 0
+        self._total = 0
+
+    def record(self, value: int, weight: int = 1) -> None:
+        self._bins[value] += weight
+        self._count += weight
+        self._total += value * weight
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            return 0.0
+        return self._total / self._count
+
+    @property
+    def min(self) -> int:
+        if not self._bins:
+            raise ValueError("empty histogram has no min")
+        return min(self._bins)
+
+    @property
+    def max(self) -> int:
+        if not self._bins:
+            raise ValueError("empty histogram has no max")
+        return max(self._bins)
+
+    def fraction_at(self, value: int) -> float:
+        """Fraction of samples exactly equal to ``value``."""
+        if self._count == 0:
+            return 0.0
+        return self._bins.get(value, 0) / self._count
+
+    def fraction_at_most(self, value: int) -> float:
+        """Fraction of samples ``<= value``."""
+        if self._count == 0:
+            return 0.0
+        covered = sum(n for v, n in self._bins.items() if v <= value)
+        return covered / self._count
+
+    def percentile(self, p: float) -> int:
+        """The smallest value v with at least fraction ``p`` of mass ``<= v``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("percentile must be in [0, 1]")
+        if self._count == 0:
+            raise ValueError("empty histogram has no percentiles")
+        threshold = p * self._count
+        running = 0
+        for value in sorted(self._bins):
+            running += self._bins[value]
+            if running >= threshold:
+                return value
+        return max(self._bins)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        return sorted(self._bins.items())
+
+
+class UtilizationMeter:
+    """Tracks busy cycles of a set of identical resources (links).
+
+    ``busy(n)`` is called once per transfer with the number of cycles the
+    transfer occupied one resource.  Utilization is then
+    ``total busy cycles / (elapsed cycles * resource count)`` — exactly
+    the paper's "percentage of cycles where the transmission lines
+    actually communicate data".
+    """
+
+    def __init__(self, resources: int) -> None:
+        if resources <= 0:
+            raise ValueError("need at least one resource")
+        self.resources = resources
+        self.busy_cycles = 0
+
+    def busy(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError("busy cycles must be non-negative")
+        self.busy_cycles += cycles
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        if elapsed_cycles <= 0:
+            return 0.0
+        return self.busy_cycles / (elapsed_cycles * self.resources)

@@ -1,0 +1,136 @@
+"""Full-system composition: workload -> processor -> L2 design -> memory.
+
+`run_system` is the one-call experiment entry point used by the
+examples, the tests, and every benchmark harness: it builds the named
+L2 design, generates (or accepts) a reference trace, replays it through
+the processor model, and returns a :class:`SystemResult` carrying every
+metric the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.core.config import build_design
+from repro.sim.memory import MainMemory
+from repro.sim.processor import ExecutionResult, Processor, ProcessorConfig
+from repro.tech import Technology, TECH_45NM
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import generate_trace, resident_block_addresses
+from repro.workloads.trace import Reference
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemResult:
+    """Everything measured from one (design, workload) run."""
+
+    design: str
+    benchmark: str
+    cycles: int
+    instructions: int
+    l2_requests: int
+    l2_hits: int
+    l2_misses: int
+    mean_lookup_latency: float
+    predictable_lookup_fraction: float
+    banks_accessed_per_request: float
+    link_utilization: float
+    network_power_w: float
+    stats: dict
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.l2_requests == 0:
+            return 0.0
+        return self.l2_misses / self.l2_requests
+
+    @property
+    def misses_per_kinstr(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.l2_misses / self.instructions
+
+
+class System:
+    """A processor + L2 design + memory, ready to replay traces."""
+
+    def __init__(self, design_name: str,
+                 processor_config: Optional[ProcessorConfig] = None,
+                 tech: Technology = TECH_45NM,
+                 memory: Optional[MainMemory] = None,
+                 **design_overrides) -> None:
+        self.memory = memory if memory is not None else MainMemory()
+        self.l2 = build_design(design_name, memory=self.memory, tech=tech,
+                               **design_overrides)
+        self.processor = Processor(self.l2, processor_config)
+
+    def run(self, trace: Sequence[Reference], benchmark: str = "custom",
+            warmup_refs: int = 0) -> SystemResult:
+        result: ExecutionResult = self.processor.run(trace, warmup_refs)
+        l2 = self.l2
+        return SystemResult(
+            design=l2.name,
+            benchmark=benchmark,
+            cycles=result.cycles,
+            instructions=result.instructions,
+            l2_requests=l2.stats["requests"],
+            l2_hits=l2.stats["hits"],
+            l2_misses=l2.stats["misses"],
+            mean_lookup_latency=l2.mean_lookup_latency,
+            predictable_lookup_fraction=l2.predictable_lookup_fraction,
+            banks_accessed_per_request=l2.banks_accessed_per_request,
+            link_utilization=l2.link_utilization(result.cycles),
+            network_power_w=l2.network_power_w(result.cycles),
+            stats=l2.stats.as_dict(),
+        )
+
+
+def run_system(design_name: str, benchmark: str, n_refs: int = 50_000,
+               warmup_fraction: float = 0.3, seed: int = 7,
+               processor_config: Optional[ProcessorConfig] = None,
+               tech: Technology = TECH_45NM,
+               trace: Optional[List[Reference]] = None,
+               prewarm_spec=None,
+               **design_overrides) -> SystemResult:
+    """Run ``benchmark`` on ``design_name`` and collect all metrics.
+
+    ``trace`` short-circuits generation (so one generated trace can be
+    replayed against several designs); otherwise the benchmark profile
+    is rendered to ``n_refs`` references with the given seed, of which
+    the first ``warmup_fraction`` warm the cache without being measured.
+
+    The cache is pre-warmed with the workload's resident population —
+    from the named profile when one exists, or from ``prewarm_spec``
+    (the :class:`~repro.workloads.synthetic.TraceSpec` the custom trace
+    was generated from).  A custom trace without a spec starts cold.
+    """
+    prewarm: Optional[List[int]] = None
+    if trace is None:
+        profile = get_profile(benchmark)
+        trace = generate_trace(profile.spec, n_refs, seed=seed)
+        prewarm = resident_block_addresses(profile.spec)
+    elif prewarm_spec is not None:
+        prewarm = resident_block_addresses(prewarm_spec)
+    elif benchmark in {name for name in _known_benchmarks()}:
+        prewarm = resident_block_addresses(get_profile(benchmark).spec)
+    warmup_refs = int(len(trace) * warmup_fraction)
+    system = System(design_name, processor_config, tech, **design_overrides)
+    if prewarm is not None:
+        # resident_block_addresses yields least-popular-first.
+        ordered = prewarm if system.l2.install_order == "popular_last" else reversed(prewarm)
+        for addr in ordered:
+            system.l2.install(addr)
+    return system.run(trace, benchmark=benchmark, warmup_refs=warmup_refs)
+
+
+def _known_benchmarks():
+    from repro.workloads.profiles import PROFILES
+
+    return PROFILES

@@ -1,0 +1,126 @@
+"""Alternative transmission-line signalling schemes (Section 4's outlook).
+
+The paper picks single-ended voltage-mode signalling but notes that "if
+one desires extra reliability, there are other techniques to increase
+noise immunity such as using differential signals with a sinusoidal
+carrier [8] or current-mode drivers [10]".  This module models those
+alternatives far enough to reproduce the trade-off that justified the
+paper's choice:
+
+* **single-ended voltage mode** (the TLC baseline) — one line per bit,
+  dynamic power only, moderate noise immunity;
+* **differential voltage mode** — two lines per bit, ~2x the wire area
+  and launch power, but common-mode noise rejection multiplies the
+  effective margin;
+* **current-mode** — one line per bit and fast, but the terminated
+  receiver draws *static* current continuously, which at the low
+  utilizations of a cache interconnect (Fig. 7: a few percent)
+  dominates total energy — the paper's stated reason for rejecting it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.tech import Technology, TECH_45NM
+from repro.tline.power import transmission_line_energy_per_bit
+
+#: common-mode rejection of a differential receiver (margin multiplier).
+DIFFERENTIAL_NOISE_REJECTION = 5.0
+
+#: reduced swing a differential pair needs for the same error rate.
+DIFFERENTIAL_SWING_FRACTION = 0.5
+
+#: static bias of an LVDS-class differential receiver/driver, amperes —
+#: the "low-power, low-voltage drivers [19]" the paper rejects because
+#: they "consume too much static power" for low-utilization links.
+DIFFERENTIAL_BIAS_A = 0.5e-3
+
+#: static bias current of a terminated current-mode receiver, amperes.
+CURRENT_MODE_BIAS_A = 1.0e-3
+
+#: current-mode swing as a fraction of Vdd (low-swing signalling).
+CURRENT_MODE_SWING_FRACTION = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemeCost:
+    """Wire/power/noise costs of one signalling scheme, per bit lane."""
+
+    name: str
+    lines_per_bit: int
+    dynamic_energy_per_bit_j: float
+    static_power_w: float
+    #: noise margin multiplier relative to single-ended voltage mode.
+    relative_noise_immunity: float
+
+    def average_power_w(self, utilization: float,
+                        tech: Technology = TECH_45NM) -> float:
+        """Total lane power at a given link utilization."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be a probability")
+        toggles_per_s = utilization * tech.frequency_hz
+        return self.static_power_w + toggles_per_s * self.dynamic_energy_per_bit_j
+
+
+def single_ended(z0_ohm: float, tech: Technology = TECH_45NM) -> SchemeCost:
+    """The TLC baseline: source-terminated voltage-mode signalling."""
+    return SchemeCost(
+        name="single-ended voltage",
+        lines_per_bit=1,
+        dynamic_energy_per_bit_j=transmission_line_energy_per_bit(z0_ohm, tech),
+        static_power_w=0.0,
+        relative_noise_immunity=1.0,
+    )
+
+
+def differential(z0_ohm: float, tech: Technology = TECH_45NM) -> SchemeCost:
+    """LVDS-class differential pair: 2x wires, reduced swing, biased
+    receiver (the static cost the paper's Section 6.1 rejects)."""
+    swing_energy = (transmission_line_energy_per_bit(z0_ohm, tech)
+                    * DIFFERENTIAL_SWING_FRACTION ** 2)
+    return SchemeCost(
+        name="differential voltage",
+        lines_per_bit=2,
+        dynamic_energy_per_bit_j=2.0 * swing_energy,
+        static_power_w=DIFFERENTIAL_BIAS_A * tech.vdd,
+        relative_noise_immunity=DIFFERENTIAL_NOISE_REJECTION,
+    )
+
+
+def current_mode(z0_ohm: float, tech: Technology = TECH_45NM) -> SchemeCost:
+    """Current-mode driver with a continuously biased receiver."""
+    dynamic = (transmission_line_energy_per_bit(z0_ohm, tech)
+               * CURRENT_MODE_SWING_FRACTION ** 2)
+    static = CURRENT_MODE_BIAS_A * tech.vdd
+    return SchemeCost(
+        name="current mode",
+        lines_per_bit=1,
+        dynamic_energy_per_bit_j=dynamic,
+        static_power_w=static,
+        relative_noise_immunity=2.0,
+    )
+
+
+def compare_schemes(z0_ohm: float, utilization: float,
+                    tech: Technology = TECH_45NM) -> Dict[str, SchemeCost]:
+    """All three schemes for a link of impedance ``z0_ohm``."""
+    return {scheme.name: scheme
+            for scheme in (single_ended(z0_ohm, tech),
+                           differential(z0_ohm, tech),
+                           current_mode(z0_ohm, tech))}
+
+
+def cheapest_at(z0_ohm: float, utilization: float,
+                tech: Technology = TECH_45NM) -> Tuple[str, float]:
+    """(scheme name, watts) of the lowest-power scheme at a utilization.
+
+    At cache-interconnect utilizations (a few percent) this is the
+    single-ended voltage scheme — the paper's choice; current mode only
+    wins on links that are busy most of the time.
+    """
+    schemes = compare_schemes(z0_ohm, utilization, tech)
+    best = min(schemes.values(),
+               key=lambda s: s.average_power_w(utilization, tech))
+    return best.name, best.average_power_w(utilization, tech)

@@ -1,0 +1,76 @@
+"""Link-level signalling evaluation against the paper's acceptance criteria.
+
+Section 5 ("Physical Evaluation"): a transmission line is usable when a
+10 GHz pulse arrives with an amplitude of at least 75 % of Vdd and a
+pulse width of at least 40 % of the processor cycle time.  This module
+wraps the extraction + wave-propagation pipeline into a one-call check
+and converts the measured flight time into the integer cycle counts the
+timing models consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.tech import Technology, TECH_45NM
+from repro.tline.extraction import LineParameters, extract
+from repro.tline.geometry import WireGeometry, tl_geometry_for_length
+from repro.tline.wave import PulseResult, propagate_pulse
+
+#: Paper's acceptance thresholds.
+MIN_AMPLITUDE_FRACTION = 0.75
+MIN_WIDTH_FRACTION = 0.40
+
+
+@dataclasses.dataclass(frozen=True)
+class SignalingReport:
+    """Result of evaluating one point-to-point transmission-line link."""
+
+    geometry: WireGeometry
+    line: LineParameters
+    pulse: PulseResult
+    amplitude_fraction: float
+    width_fraction: float
+    latency_cycles: int
+
+    @property
+    def meets_amplitude(self) -> bool:
+        return self.amplitude_fraction >= MIN_AMPLITUDE_FRACTION
+
+    @property
+    def meets_width(self) -> bool:
+        return self.width_fraction >= MIN_WIDTH_FRACTION
+
+    @property
+    def usable(self) -> bool:
+        """True when the link passes both of the paper's criteria."""
+        return self.meets_amplitude and self.meets_width
+
+
+def evaluate_link(length_m: float, tech: Technology = TECH_45NM,
+                  geometry: WireGeometry | None = None) -> SignalingReport:
+    """Extract, simulate, and grade a transmission-line link.
+
+    ``geometry`` defaults to the Table 1 class for the requested length.
+    The returned ``latency_cycles`` is the conservative whole-cycle link
+    latency used by the cache timing models: the measured 50 %-crossing
+    delay rounded up, with the paper's 40 %-of-cycle setup/hold guard
+    band folded into the rounding.
+    """
+    if geometry is None:
+        geometry = tl_geometry_for_length(length_m)
+    line = extract(geometry, tech)
+    pulse = propagate_pulse(line, vdd=tech.vdd, bit_time_s=tech.cycle_s)
+    # The paper's 40 %-of-cycle setup/hold requirement is enforced by the
+    # pulse-width criterion below; the link latency is the 50 %-crossing
+    # delay rounded up to whole cycles.
+    latency_cycles = max(1, math.ceil(pulse.delay_s / tech.cycle_s - 1e-9))
+    return SignalingReport(
+        geometry=geometry,
+        line=line,
+        pulse=pulse,
+        amplitude_fraction=pulse.amplitude_fraction(),
+        width_fraction=pulse.width_fraction(tech.cycle_s),
+        latency_cycles=latency_cycles,
+    )

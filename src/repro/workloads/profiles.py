@@ -1,0 +1,144 @@
+"""The twelve benchmark profiles (paper Table 4/5 workloads).
+
+Each profile is a :class:`TraceSpec` calibrated so the synthetic stream
+reproduces the corresponding benchmark's Table 6 characteristics:
+
+* ``mean_gap`` sets L2 requests per kilo-instruction,
+* the cold/stream fractions set the L2 miss rate,
+* hot-set size and skew set the temporal-locality concentration that
+  drives DNUCA's close-hit percentage and promotion behaviour,
+* ``dependent_fraction`` models pointer chasing (mcf) vs. streaming
+  independence (SPECfp), which controls how much L2 latency the
+  out-of-order core can hide.
+
+The absolute populations are expressed against the paper's 16 MB L2
+(262144 blocks of 64 bytes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.workloads.synthetic import TraceSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchmarkProfile:
+    """One benchmark: its trace spec plus descriptive metadata."""
+
+    name: str
+    suite: str  # "SPECint", "SPECfp", or "commercial"
+    description: str
+    spec: TraceSpec
+
+    @property
+    def l2_requests_per_kinstr(self) -> float:
+        """Nominal L2 request rate implied by the mean gap."""
+        return 1000.0 / self.spec.mean_gap
+
+
+def _profile(name: str, suite: str, description: str, **spec_kwargs) -> BenchmarkProfile:
+    return BenchmarkProfile(name, suite, description, TraceSpec(**spec_kwargs))
+
+
+PROFILES: Dict[str, BenchmarkProfile] = {
+    p.name: p
+    for p in (
+        # ---------------- SPECint 2000 ----------------
+        _profile(
+            "bzip", "SPECint",
+            "Compression: modest working set, strong reuse.",
+            mean_gap=104.0, hot_blocks=20_000, hot_skew=2.5,
+            cold_fraction=0.005, write_fraction=0.30, dependent_fraction=0.25,
+        ),
+        _profile(
+            "gcc", "SPECint",
+            "Compiler: very high L2 traffic, tight reuse, tiny miss rate.",
+            mean_gap=13.2, hot_blocks=30_000, hot_skew=4.0,
+            cold_fraction=0.001, write_fraction=0.30, dependent_fraction=0.25,
+        ),
+        _profile(
+            "mcf", "SPECint",
+            "Pointer-chasing over a large in-cache footprint.  The graph "
+            "lives in a few large contiguous arrays, so block numbers are "
+            "not scattered: the even fill keeps conflict misses near zero "
+            "(the paper measures only 0.019 misses per kilo-instruction).",
+            mean_gap=9.1, hot_blocks=150_000, hot_skew=1.9, scatter=False,
+            cold_fraction=0.0002, write_fraction=0.25, dependent_fraction=0.70,
+        ),
+        _profile(
+            "perl", "SPECint",
+            "Interpreter: small hot set, very high locality.",
+            mean_gap=192.0, hot_blocks=10_000, hot_skew=4.0,
+            cold_fraction=0.005, write_fraction=0.30, dependent_fraction=0.25,
+        ),
+        # ---------------- SPECfp 2000 ----------------
+        _profile(
+            "equake", "SPECfp",
+            "Sparse FEM: a large frequently-reused set mixed with streams "
+            "(the LRU-vs-frequency replacement anomaly).",
+            mean_gap=80.6, hot_blocks=230_000, hot_skew=1.8,
+            stream_fraction=0.42, stream_interleave=4, write_fraction=0.20, dependent_fraction=0.10,
+        ),
+        _profile(
+            "swim", "SPECfp",
+            "Shallow-water grid sweeps: almost pure streaming.",
+            mean_gap=20.8, hot_blocks=4_000, hot_skew=2.0,
+            stream_fraction=0.85, stream_interleave=9, write_fraction=0.35, dependent_fraction=0.02,
+        ),
+        _profile(
+            "applu", "SPECfp",
+            "PDE solver: streaming with negligible reuse.",
+            mean_gap=55.6, hot_blocks=3_000, hot_skew=2.0,
+            stream_fraction=0.90, stream_interleave=5, write_fraction=0.35, dependent_fraction=0.02,
+        ),
+        _profile(
+            "lucas", "SPECfp",
+            "FFT-based primality: streaming over a huge footprint.",
+            mean_gap=64.0, hot_blocks=2_000, hot_skew=2.0,
+            stream_fraction=0.85, stream_interleave=3, write_fraction=0.30, dependent_fraction=0.02,
+        ),
+        # ---------------- commercial ----------------
+        _profile(
+            "apache", "commercial",
+            "Static web serving (SURGE-driven): skewed document popularity.",
+            mean_gap=33.0, hot_blocks=120_000, hot_skew=3.0,
+            cold_fraction=0.10, stream_fraction=0.06,
+            write_fraction=0.30, dependent_fraction=0.15,
+        ),
+        _profile(
+            "zeus", "commercial",
+            "Static web serving, larger active set than apache.",
+            mean_gap=36.0, hot_blocks=120_000, hot_skew=3.0,
+            cold_fraction=0.15, stream_fraction=0.08,
+            write_fraction=0.30, dependent_fraction=0.15,
+        ),
+        _profile(
+            "sjbb", "commercial",
+            "SPECjbb-like middleware: warehouse object churn.",
+            mean_gap=70.0, hot_blocks=100_000, hot_skew=3.0,
+            cold_fraction=0.12, stream_fraction=0.04,
+            write_fraction=0.35, dependent_fraction=0.20,
+        ),
+        _profile(
+            "oltp", "commercial",
+            "TPC-C-like transaction processing: hot tables plus random rows.",
+            mean_gap=76.0, hot_blocks=80_000, hot_skew=4.0,
+            cold_fraction=0.06, write_fraction=0.35, dependent_fraction=0.25,
+        ),
+    )
+}
+
+
+def benchmark_names() -> Tuple[str, ...]:
+    return tuple(PROFILES)
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,61 @@
+"""L2-level memory-reference traces.
+
+A trace is a sequence of :class:`Reference` records, each describing one
+request that reached the L2 (i.e. already filtered by the L1s):
+
+* ``gap`` — instructions executed since the previous L2 reference,
+* ``addr`` — byte address (block aligned by the generators),
+* ``write`` — True for a store / L1 writeback,
+* ``dependent`` — True when the reference's address depends on the
+  previous load's data (pointer chasing); the processor model serializes
+  such pairs.
+
+Traces are deterministic functions of (profile, seed) so experiments
+reproduce bit-for-bit; ``save_trace``/``load_trace`` provide a simple
+portable text format for sharing traces between tools.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple
+
+
+class Reference(NamedTuple):
+    """One L2 request."""
+
+    gap: int
+    addr: int
+    write: bool
+    dependent: bool
+
+
+def save_trace(path: str, trace: Iterable[Reference]) -> int:
+    """Write a trace as one ``gap addr w d`` line per reference.
+
+    Returns the number of references written.
+    """
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        for ref in trace:
+            handle.write(
+                f"{ref.gap} {ref.addr:x} {int(ref.write)} {int(ref.dependent)}\n"
+            )
+            count += 1
+    return count
+
+
+def load_trace(path: str) -> List[Reference]:
+    """Read a trace written by :func:`save_trace`."""
+    trace: List[Reference] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"{path}:{line_no}: expected 4 fields, got {len(parts)}")
+            gap, addr, write, dependent = parts
+            trace.append(Reference(int(gap), int(addr, 16),
+                                   bool(int(write)), bool(int(dependent))))
+    return trace

@@ -1,0 +1,86 @@
+"""Tests for address decomposition and bank interleaving."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.address import AddressMap, block_address
+
+
+class TestBlockAddress:
+    def test_aligns_down(self):
+        assert block_address(0x1234, 64) == 0x1200
+
+    def test_already_aligned(self):
+        assert block_address(0x1240, 64) == 0x1240
+
+
+class TestAddressMap:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            AddressMap(block_bytes=48, num_sets=16)
+        with pytest.raises(ValueError):
+            AddressMap(block_bytes=64, num_sets=100)
+        with pytest.raises(ValueError):
+            AddressMap(block_bytes=64, num_sets=16, banks=3)
+
+    def test_bit_widths(self):
+        m = AddressMap(block_bytes=64, num_sets=2048, banks=32)
+        assert m.offset_bits == 6
+        assert m.set_bits == 11
+        assert m.bank_bits == 5
+
+    def test_consecutive_blocks_interleave_across_banks(self):
+        m = AddressMap(block_bytes=64, num_sets=2048, banks=32)
+        banks = [m.bank_index(block * 64) for block in range(64)]
+        assert banks[:32] == list(range(32))
+        assert banks[32:] == list(range(32))
+
+    def test_same_bank_blocks_differ_in_set(self):
+        m = AddressMap(block_bytes=64, num_sets=2048, banks=32)
+        a, b = 0, 32 * 64  # 32 blocks apart -> same bank, next set
+        assert m.bank_index(a) == m.bank_index(b)
+        assert m.set_index(b) == m.set_index(a) + 1
+
+    def test_offset_does_not_change_decomposition(self):
+        m = AddressMap(block_bytes=64, num_sets=1024, banks=16)
+        base = 0xABCD00
+        for offset in (0, 1, 63):
+            assert m.set_index(base + offset) == m.set_index(base)
+            assert m.tag(base + offset) == m.tag(base)
+            assert m.bank_index(base + offset) == m.bank_index(base)
+
+    def test_paper_dnuca_geometry(self):
+        # 16 MB / 256 banks of 64 KB, 16 bank sets: 1024 sets per bank.
+        m = AddressMap(block_bytes=64, num_sets=1024, banks=16)
+        blocks_per_bankset_rotation = 16
+        assert m.bank_index(0) != m.bank_index(64)
+        assert m.bank_index(0) == m.bank_index(blocks_per_bankset_rotation * 64)
+
+    def test_single_bank_map(self):
+        m = AddressMap(block_bytes=64, num_sets=512)
+        assert m.bank_bits == 0
+        assert m.bank_index(0xFFFF0) == 0
+
+
+@given(
+    st.integers(min_value=0, max_value=2**45 - 1),
+    st.sampled_from([16, 64, 128]),
+    st.sampled_from([64, 1024, 16384]),
+    st.sampled_from([1, 4, 16, 32]),
+)
+def test_rebuild_roundtrip(addr, block_bytes, num_sets, banks):
+    """rebuild(tag, set, bank) must invert the decomposition."""
+    m = AddressMap(block_bytes=block_bytes, num_sets=num_sets, banks=banks)
+    rebuilt = m.rebuild(m.tag(addr), m.set_index(addr), m.bank_index(addr))
+    assert rebuilt == block_address(addr, block_bytes)
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_distinct_blocks_get_distinct_coordinates(block):
+    """Two different blocks never share (tag, set, bank)."""
+    m = AddressMap(block_bytes=64, num_sets=1024, banks=16)
+    a = block * 64
+    b = (block + 1) * 64
+    coords_a = (m.tag(a), m.set_index(a), m.bank_index(a))
+    coords_b = (m.tag(b), m.set_index(b), m.bank_index(b))
+    assert coords_a != coords_b

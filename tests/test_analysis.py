@@ -1,0 +1,87 @@
+"""Tests for the experiment grid runner and table utilities."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    MAIN_DESIGNS,
+    TLC_FAMILY,
+    run_benchmark_suite,
+    run_design_grid,
+)
+from repro.analysis.tables import (
+    PAPER_TABLE6,
+    PAPER_TABLE7,
+    PAPER_TABLE9,
+    format_table,
+)
+
+
+class TestGridRunner:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_design_grid(designs=("SNUCA2", "TLC"),
+                               benchmarks=("perl", "bzip"), n_refs=3_000)
+
+    def test_all_cells_present(self, grid):
+        assert set(grid.results) == {
+            (d, b) for d in ("SNUCA2", "TLC") for b in ("perl", "bzip")}
+
+    def test_result_accessor(self, grid):
+        r = grid.result("TLC", "perl")
+        assert r.design == "TLC" and r.benchmark == "perl"
+
+    def test_normalization_baseline_is_one(self, grid):
+        assert grid.normalized_execution_time("SNUCA2", "perl") == 1.0
+
+    def test_normalized_time_positive(self, grid):
+        assert grid.normalized_execution_time("TLC", "bzip") > 0
+
+    def test_shared_trace_across_designs(self, grid):
+        """Both designs must have replayed the identical trace."""
+        assert (grid.result("TLC", "perl").l2_requests
+                == grid.result("SNUCA2", "perl").l2_requests)
+
+    def test_design_lists(self):
+        assert MAIN_DESIGNS == ("SNUCA2", "DNUCA", "TLC")
+        assert TLC_FAMILY[0] == "TLC" and len(TLC_FAMILY) == 4
+
+
+class TestBenchmarkSuite:
+    def test_runs_named_subset(self):
+        results = run_benchmark_suite("TLC", benchmarks=("perl",), n_refs=2_000)
+        assert set(results) == {"perl"}
+        assert results["perl"].design == "TLC"
+
+
+class TestPaperReferenceData:
+    def test_table6_covers_all_benchmarks(self):
+        assert len(PAPER_TABLE6) == 12
+
+    def test_table7_totals_are_sums(self):
+        for row in PAPER_TABLE7.values():
+            assert row["total"] == pytest.approx(
+                row["storage"] + row["channel"] + row["controller"], rel=0.02)
+
+    def test_table9_tlc_always_cheaper(self):
+        for row in PAPER_TABLE9.values():
+            assert row["tlc_mw"] < row["dnuca_mw"]
+
+    def test_table9_average_saving_near_61_percent(self):
+        """The abstract's headline: 61 % average network power saving."""
+        savings = [1 - row["tlc_mw"] / row["dnuca_mw"]
+                   for row in PAPER_TABLE9.values()]
+        assert sum(savings) / len(savings) == pytest.approx(0.61, abs=0.03)
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [3, 4.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.5" in text
+
+    def test_columns_aligned(self):
+        text = format_table(["col"], [[123456]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[1]) == len(lines[2])

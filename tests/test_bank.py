@@ -1,0 +1,169 @@
+"""Tests for the set-associative cache bank."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.bank import CacheBank
+
+
+class TestLookupAndInsert:
+    def test_miss_on_empty_bank(self):
+        bank = CacheBank(num_sets=16, ways=2)
+        assert not bank.lookup(0, 0xAA).hit
+
+    def test_hit_after_insert(self):
+        bank = CacheBank(num_sets=16, ways=2)
+        bank.insert(3, 0xAA)
+        result = bank.lookup(3, 0xAA)
+        assert result.hit
+        assert result.way is not None
+
+    def test_same_tag_different_set_misses(self):
+        bank = CacheBank(num_sets=16, ways=2)
+        bank.insert(3, 0xAA)
+        assert not bank.lookup(4, 0xAA).hit
+
+    def test_insert_fills_empty_ways_before_evicting(self):
+        bank = CacheBank(num_sets=4, ways=2)
+        r1 = bank.insert(0, 1)
+        r2 = bank.insert(0, 2)
+        assert r1.evicted_tag is None and r2.evicted_tag is None
+        assert bank.lookup(0, 1).hit and bank.lookup(0, 2).hit
+
+    def test_eviction_when_set_full(self):
+        bank = CacheBank(num_sets=4, ways=2)
+        bank.insert(0, 1)
+        bank.insert(0, 2)
+        result = bank.insert(0, 3)
+        assert result.evicted_tag == 1  # LRU victim
+        assert not bank.lookup(0, 1).hit
+
+    def test_lru_protects_recently_used(self):
+        bank = CacheBank(num_sets=4, ways=2)
+        bank.insert(0, 1)
+        bank.insert(0, 2)
+        bank.lookup(0, 1)  # touch 1 -> 2 becomes LRU
+        result = bank.insert(0, 3)
+        assert result.evicted_tag == 2
+
+    def test_duplicate_insert_rejected(self):
+        bank = CacheBank(num_sets=4, ways=2)
+        bank.insert(0, 1)
+        with pytest.raises(ValueError):
+            bank.insert(0, 1)
+
+    def test_set_index_out_of_range(self):
+        bank = CacheBank(num_sets=4, ways=1)
+        with pytest.raises(IndexError):
+            bank.lookup(4, 1)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheBank(num_sets=0, ways=1)
+        with pytest.raises(ValueError):
+            CacheBank(num_sets=4, ways=0)
+
+
+class TestDirtyTracking:
+    def test_write_marks_dirty(self):
+        bank = CacheBank(num_sets=4, ways=2)
+        bank.insert(0, 1)
+        bank.lookup(0, 1, write=True)
+        assert bank.dirty_at(0, bank.probe(0, 1))
+
+    def test_clean_insert_not_dirty(self):
+        bank = CacheBank(num_sets=4, ways=2)
+        r = bank.insert(0, 1)
+        assert not bank.dirty_at(0, r.way)
+
+    def test_dirty_eviction_reported(self):
+        bank = CacheBank(num_sets=4, ways=1)
+        bank.insert(0, 1, dirty=True)
+        result = bank.insert(0, 2)
+        assert result.evicted_tag == 1 and result.evicted_dirty
+
+    def test_clean_eviction_reported(self):
+        bank = CacheBank(num_sets=4, ways=1)
+        bank.insert(0, 1)
+        result = bank.insert(0, 2)
+        assert result.evicted_tag == 1 and not result.evicted_dirty
+
+
+class TestProbeAndInvalidate:
+    def test_probe_does_not_touch_lru(self):
+        bank = CacheBank(num_sets=4, ways=2)
+        bank.insert(0, 1)
+        bank.insert(0, 2)
+        bank.probe(0, 1)  # not a use
+        assert bank.insert(0, 3).evicted_tag == 1
+
+    def test_probe_missing(self):
+        bank = CacheBank(num_sets=4, ways=2)
+        assert bank.probe(0, 9) is None
+
+    def test_invalidate_present(self):
+        bank = CacheBank(num_sets=4, ways=2)
+        bank.insert(0, 1, dirty=True)
+        present, dirty = bank.invalidate(0, 1)
+        assert present and dirty
+        assert not bank.lookup(0, 1).hit
+
+    def test_invalidate_absent(self):
+        bank = CacheBank(num_sets=4, ways=2)
+        assert bank.invalidate(0, 1) == (False, False)
+
+    def test_replace_way_returns_old_contents(self):
+        bank = CacheBank(num_sets=4, ways=1)
+        bank.insert(0, 5, dirty=True)
+        old = bank.replace_way(0, 0, 7)
+        assert old == (5, True)
+        assert bank.probe(0, 7) == 0
+
+
+class TestOccupancy:
+    def test_capacity(self):
+        bank = CacheBank(num_sets=8, ways=4)
+        assert bank.capacity_blocks == 32
+
+    def test_occupied_counts_inserts(self):
+        bank = CacheBank(num_sets=8, ways=4)
+        for tag in range(5):
+            bank.insert(tag % 8, 100 + tag)
+        assert bank.occupied_blocks == 5
+
+    def test_occupancy_never_exceeds_capacity(self):
+        bank = CacheBank(num_sets=2, ways=2)
+        for tag in range(20):
+            bank.insert(tag % 2, 1000 + tag)
+        assert bank.occupied_blocks <= bank.capacity_blocks
+
+
+@settings(max_examples=50)
+@given(st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 20), st.booleans()),
+    max_size=200,
+))
+def test_bank_matches_reference_model(ops):
+    """Model check: bank contents always equal an LRU reference model."""
+    ways = 2
+    bank = CacheBank(num_sets=4, ways=ways)
+    reference = {s: [] for s in range(4)}  # set -> [tags], LRU first
+
+    for set_index, tag, write in ops:
+        model_set = reference[set_index]
+        if bank.lookup(set_index, tag, write=write).hit:
+            assert tag in model_set
+            model_set.remove(tag)
+            model_set.append(tag)
+        else:
+            assert tag not in model_set
+            result = bank.insert(set_index, tag, dirty=write)
+            if len(model_set) == ways:
+                assert result.evicted_tag == model_set.pop(0)
+            else:
+                assert result.evicted_tag is None
+            model_set.append(tag)
+
+    for set_index, tags in reference.items():
+        for tag in tags:
+            assert bank.probe(set_index, tag) is not None

@@ -1,0 +1,97 @@
+"""Tests for the end-to-end SECDED layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.ecc import (
+    EccGeometry,
+    decode,
+    encode,
+    secded_check_bits,
+)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("data_bits,check_bits", [
+        (8, 5),     # classic (13,8) SECDED
+        (64, 8),    # (72,64), the DRAM standard
+        (512, 11),  # a full 64-byte block
+    ])
+    def test_known_code_sizes(self, data_bits, check_bits):
+        assert secded_check_bits(data_bits) == check_bits
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            secded_check_bits(0)
+
+    def test_overhead_shrinks_with_width(self):
+        assert (EccGeometry(512).overhead_fraction
+                < EccGeometry(64).overhead_fraction
+                < EccGeometry(8).overhead_fraction)
+
+    def test_block_response_overhead_is_small(self):
+        """Protecting a TLC 512-bit response costs ~2 % extra wires."""
+        geometry = EccGeometry(512)
+        assert geometry.overhead_fraction < 0.025
+
+
+class TestCodec:
+    def test_clean_roundtrip(self):
+        code = encode(0xAB, 8)
+        data, status = decode(code, 8)
+        assert (data, status) == (0xAB, "clean")
+
+    def test_out_of_range_data(self):
+        with pytest.raises(ValueError):
+            encode(256, 8)
+
+    @pytest.mark.parametrize("bit", range(13))
+    def test_every_single_bit_error_corrected(self, bit):
+        code = encode(0x5A, 8)
+        data, status = decode(code ^ (1 << bit), 8)
+        assert status in ("corrected", "clean")
+        assert data == 0x5A
+
+    def test_double_bit_error_detected_not_miscorrected(self):
+        code = encode(0x5A, 8)
+        corrupted = code ^ 0b11  # two adjacent bit flips
+        _, status = decode(corrupted, 8)
+        assert status == "uncorrectable"
+
+    def test_wide_payload_roundtrip(self):
+        payload = int.from_bytes(bytes(range(64)), "little")
+        code = encode(payload, 512)
+        data, status = decode(code, 512)
+        assert (data, status) == (payload, "clean")
+
+    def test_wide_payload_single_error(self):
+        payload = (1 << 511) | 0xDEADBEEF
+        code = encode(payload, 512)
+        data, status = decode(code ^ (1 << 200), 512)
+        assert status == "corrected"
+        assert data == payload
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.integers(min_value=0, max_value=(1 << 32) - 1),
+       flip=st.integers(min_value=0, max_value=38))
+def test_secded_property_single_faults(data, flip):
+    """Any 32-bit payload survives any single-bit line fault."""
+    code = encode(data, 32)
+    decoded, status = decode(code ^ (1 << flip), 32)
+    assert decoded == data
+    assert status in ("corrected", "clean")
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.integers(min_value=0, max_value=(1 << 16) - 1),
+       flips=st.sets(st.integers(min_value=0, max_value=20),
+                     min_size=2, max_size=2))
+def test_secded_property_double_faults_detected(data, flips):
+    """Any two distinct line faults are flagged, never silently wrong."""
+    code = encode(data, 16)
+    corrupted = code
+    for bit in flips:
+        corrupted ^= 1 << bit
+    decoded, status = decode(corrupted, 16)
+    assert status == "uncorrectable" or decoded == data

@@ -1,0 +1,110 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(30, lambda: order.append("c"))
+        engine.schedule(10, lambda: order.append("a"))
+        engine.schedule(20, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_fifo_order(self):
+        engine = Engine()
+        order = []
+        for name in "abc":
+            engine.schedule(5, lambda n=name: order.append(n))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(42, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42]
+        assert engine.now == 42
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            engine.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(5, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        engine = Engine()
+        log = []
+
+        def chain(n):
+            log.append(engine.now)
+            if n > 0:
+                engine.schedule(10, lambda: chain(n - 1))
+
+        engine.schedule(0, lambda: chain(3))
+        engine.run()
+        assert log == [0, 10, 20, 30]
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10, lambda: fired.append(10))
+        engine.schedule(100, lambda: fired.append(100))
+        engine.run(until=50)
+        assert fired == [10]
+        assert engine.now == 50
+        assert engine.pending == 1
+
+    def test_run_until_then_resume(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(100, lambda: fired.append(100))
+        engine.run(until=50)
+        engine.run()
+        assert fired == [100]
+
+    def test_run_until_advances_clock_when_idle(self):
+        engine = Engine()
+        engine.run(until=500)
+        assert engine.now == 500
+
+
+class TestStepAndAdvance:
+    def test_step_runs_single_event(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1, lambda: fired.append(1))
+        engine.schedule(2, lambda: fired.append(2))
+        assert engine.step()
+        assert fired == [1]
+
+    def test_step_on_empty_queue(self):
+        assert Engine().step() is False
+
+    def test_advance_moves_clock(self):
+        engine = Engine()
+        engine.advance(25)
+        assert engine.now == 25
+
+    def test_advance_cannot_skip_events(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        with pytest.raises(RuntimeError):
+            engine.advance(20)
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().advance(-5)

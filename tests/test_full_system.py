@@ -1,0 +1,110 @@
+"""Tests for the full-system (L1 + L2) mode and CPU-level traces."""
+
+import pytest
+
+from repro.sim.full_system import FullSystem
+from repro.workloads.cpu_level import CpuLevelSpec, generate_cpu_trace
+from repro.workloads.synthetic import TraceSpec
+from repro.workloads.trace import Reference
+
+
+def cpu_spec(**kwargs):
+    defaults = dict(
+        l2_spec=TraceSpec(mean_gap=10.0, hot_blocks=5_000,
+                          stream_fraction=0.2),
+        near_fraction=0.75,
+    )
+    defaults.update(kwargs)
+    return CpuLevelSpec(**defaults)
+
+
+class TestCpuLevelSpec:
+    def test_validation(self):
+        base = TraceSpec(mean_gap=10.0)
+        with pytest.raises(ValueError):
+            CpuLevelSpec(base, near_fraction=1.0)
+        with pytest.raises(ValueError):
+            CpuLevelSpec(base, near_bytes=100)
+        with pytest.raises(ValueError):
+            CpuLevelSpec(base, spatial_run=0)
+        with pytest.raises(ValueError):
+            CpuLevelSpec(base, mean_gap=0.5)
+
+
+class TestCpuTraceGeneration:
+    def test_deterministic(self):
+        spec = cpu_spec()
+        assert (generate_cpu_trace(spec, 500, seed=1)
+                == generate_cpu_trace(spec, 500, seed=1))
+
+    def test_length(self):
+        assert len(generate_cpu_trace(cpu_spec(), 321, seed=0)) == 321
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            generate_cpu_trace(cpu_spec(), 0)
+
+    def test_near_set_fits_configured_bytes(self):
+        spec = cpu_spec(near_fraction=0.9, near_bytes=4 * 1024)
+        trace = generate_cpu_trace(spec, 3_000, seed=2)
+        near = [r for r in trace if r.addr >= (1 << 41) * 64]
+        blocks = {r.addr // 64 for r in near}
+        assert len(blocks) <= 4 * 1024 // 64
+        assert len(near) / len(trace) == pytest.approx(0.9, abs=0.03)
+
+    def test_spatial_runs_stay_in_one_block(self):
+        spec = cpu_spec(near_fraction=0.0, spatial_run=4)
+        trace = generate_cpu_trace(spec, 400, seed=3)
+        for i in range(0, 400 - 4, 4):
+            blocks = {trace[j].addr // 64 for j in range(i, i + 4)}
+            assert len(blocks) == 1
+
+
+class TestFullSystem:
+    def test_l1_absorbs_near_set(self):
+        spec = cpu_spec(near_fraction=0.85)
+        trace = generate_cpu_trace(spec, 8_000, seed=5)
+        system = FullSystem("TLC")
+        result = system.run(trace)
+        assert result.l1_miss_rate < 0.35
+        assert result.l1_hits + result.l1_misses == 8_000
+
+    def test_l2_sees_only_l1_misses_plus_writebacks(self):
+        spec = cpu_spec()
+        trace = generate_cpu_trace(spec, 5_000, seed=6)
+        system = FullSystem("TLC")
+        result = system.run(trace)
+        assert result.l2_requests == result.l1_misses + result.l1_writebacks
+
+    def test_writebacks_reach_l2_as_writes(self):
+        spec = cpu_spec(near_fraction=0.0,
+                        l2_spec=TraceSpec(mean_gap=5.0, hot_blocks=50_000,
+                                          write_fraction=0.6))
+        trace = generate_cpu_trace(spec, 10_000, seed=7)
+        system = FullSystem("SNUCA2")
+        result = system.run(trace)
+        assert result.l1_writebacks > 0
+        assert system.l2.stats["writes"] >= result.l1_writebacks
+
+    def test_runs_on_every_design(self):
+        spec = cpu_spec()
+        trace = generate_cpu_trace(spec, 1_500, seed=8)
+        for design in ("TLC", "TLCopt500", "SNUCA2", "DNUCA"):
+            result = FullSystem(design).run(trace)
+            assert result.cycles > 0
+
+    def test_faster_l2_gives_better_ipc(self):
+        spec = cpu_spec(near_fraction=0.5,
+                        l2_spec=TraceSpec(mean_gap=6.0, hot_blocks=100_000,
+                                          dependent_fraction=0.6))
+        trace = generate_cpu_trace(spec, 12_000, seed=9)
+        tlc = FullSystem("TLC").run(trace)
+        snuca = FullSystem("SNUCA2").run(trace)
+        assert tlc.ipc > snuca.ipc
+
+    def test_pure_l1_resident_trace_never_touches_l2(self):
+        trace = [Reference(4, 0x1000, False, False)] * 100
+        system = FullSystem("TLC")
+        result = system.run(trace)
+        assert result.l1_misses == 1  # the compulsory first touch
+        assert result.l2_requests == 1

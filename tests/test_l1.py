@@ -1,0 +1,83 @@
+"""Tests for the L1 cache model."""
+
+import pytest
+
+from repro.cache.l1 import L1Cache
+
+
+class TestGeometry:
+    def test_paper_configuration(self):
+        l1 = L1Cache()
+        assert l1.size_bytes == 64 * 1024
+        assert l1.ways == 2
+        assert l1.latency_cycles == 3
+        assert l1.addr_map.num_sets == 512
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            L1Cache(size_bytes=1000, ways=2, block_bytes=64)
+
+
+class TestFiltering:
+    def test_first_access_misses(self):
+        l1 = L1Cache()
+        assert not l1.access(0x1000).hit
+
+    def test_second_access_hits(self):
+        l1 = L1Cache()
+        l1.access(0x1000)
+        assert l1.access(0x1000).hit
+
+    def test_same_block_different_word_hits(self):
+        l1 = L1Cache()
+        l1.access(0x1000)
+        assert l1.access(0x1008).hit
+
+    def test_miss_rate(self):
+        l1 = L1Cache()
+        l1.access(0x0)
+        l1.access(0x0)
+        l1.access(0x0)
+        l1.access(0x40)
+        assert l1.miss_rate == pytest.approx(0.5)
+
+    def test_miss_rate_empty(self):
+        assert L1Cache().miss_rate == 0.0
+
+
+class TestWritebacks:
+    def _conflicting_addrs(self, l1, n):
+        """n addresses mapping to the same L1 set."""
+        stride = l1.addr_map.num_sets * l1.block_bytes
+        return [0x40 + i * stride for i in range(n)]
+
+    def test_clean_eviction_no_writeback(self):
+        l1 = L1Cache()
+        addrs = self._conflicting_addrs(l1, 3)
+        for addr in addrs:
+            result = l1.access(addr, write=False)
+            assert result.writeback is None
+
+    def test_dirty_eviction_produces_writeback(self):
+        l1 = L1Cache()
+        addrs = self._conflicting_addrs(l1, 3)
+        l1.access(addrs[0], write=True)
+        l1.access(addrs[1])
+        result = l1.access(addrs[2])  # evicts dirty addrs[0]
+        assert result.writeback == addrs[0]
+
+    def test_writeback_is_block_aligned(self):
+        l1 = L1Cache()
+        addrs = self._conflicting_addrs(l1, 3)
+        l1.access(addrs[0] + 17, write=True)
+        l1.access(addrs[1])
+        result = l1.access(addrs[2])
+        assert result.writeback == addrs[0]
+
+    def test_writeback_counted(self):
+        l1 = L1Cache()
+        addrs = self._conflicting_addrs(l1, 3)
+        l1.access(addrs[0], write=True)
+        l1.access(addrs[1])
+        l1.access(addrs[2])
+        assert l1.stats["writebacks"] == 1

@@ -1,0 +1,105 @@
+"""Tests for point-to-point link timing and contention semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interconnect.link import Link
+from repro.interconnect.message import flits_for_bits, REQUEST_BITS, BLOCK_BITS
+from repro.sim.stats import UtilizationMeter
+
+
+class TestFlits:
+    def test_exact_fit(self):
+        assert flits_for_bits(64, 64) == 1
+
+    def test_round_up(self):
+        assert flits_for_bits(65, 64) == 2
+
+    def test_block_on_8byte_link(self):
+        assert flits_for_bits(BLOCK_BITS, 64) == 8
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            flits_for_bits(0, 64)
+        with pytest.raises(ValueError):
+            flits_for_bits(64, 0)
+
+
+class TestIdleLink:
+    def test_single_flit_timing(self):
+        link = Link(width_bits=64, flight_cycles=1)
+        t = link.send(time=100, message_bits=REQUEST_BITS)
+        assert t.start == 100
+        assert t.first_arrival == 101
+        assert t.last_arrival == 101
+        assert t.queued_cycles == 0
+
+    def test_multi_flit_timing(self):
+        link = Link(width_bits=64, flight_cycles=1)
+        t = link.send(time=100, message_bits=BLOCK_BITS)
+        assert t.flits == 8
+        assert t.first_arrival == 101      # critical word
+        assert t.last_arrival == 108       # tail flit
+
+    def test_flight_cycles_add_latency(self):
+        link = Link(width_bits=64, flight_cycles=3)
+        t = link.send(time=0, message_bits=64)
+        assert t.first_arrival == 3
+
+
+class TestContention:
+    def test_back_to_back_serializes(self):
+        link = Link(width_bits=64, flight_cycles=1)
+        first = link.send(0, BLOCK_BITS)   # occupies cycles 0..7
+        second = link.send(0, REQUEST_BITS)
+        assert second.start == 8
+        assert second.queued_cycles == 8
+
+    def test_gap_avoids_queueing(self):
+        link = Link(width_bits=64, flight_cycles=1)
+        link.send(0, BLOCK_BITS)
+        second = link.send(50, REQUEST_BITS)
+        assert second.queued_cycles == 0
+
+    def test_non_contending_send_does_not_reserve(self):
+        link = Link(width_bits=64, flight_cycles=1)
+        link.send(100, BLOCK_BITS, contend=False)
+        demand = link.send(100, REQUEST_BITS)
+        assert demand.queued_cycles == 0
+
+    def test_non_contending_send_still_metered(self):
+        meter = UtilizationMeter(resources=1)
+        link = Link(width_bits=64, flight_cycles=1, meter=meter)
+        link.send(0, BLOCK_BITS, contend=False)
+        assert meter.busy_cycles == 8
+        assert link.bits_sent == BLOCK_BITS
+
+    def test_reset(self):
+        link = Link(width_bits=64)
+        link.send(0, BLOCK_BITS)
+        link.reset()
+        assert link.busy_until == 0
+        assert link.bits_sent == 0
+        assert link.transfers == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Link(width_bits=0)
+        with pytest.raises(ValueError):
+            Link(width_bits=8, flight_cycles=-1)
+
+
+@given(st.lists(st.tuples(st.integers(0, 1000), st.integers(1, 512)),
+                min_size=1, max_size=60))
+def test_fifo_invariants(messages):
+    """Transfers never overlap on the link and never start before both
+    their send time and the prior transfer's completion."""
+    link = Link(width_bits=64, flight_cycles=1)
+    messages = sorted(messages)  # arrival-ordered, as the designs guarantee
+    prev_busy_end = 0
+    for send_time, bits in messages:
+        t = link.send(send_time, bits)
+        assert t.start >= send_time
+        assert t.start >= prev_busy_end
+        prev_busy_end = t.start + t.flits
+        assert t.last_arrival - t.first_arrival == t.flits - 1

@@ -1,0 +1,60 @@
+"""Tests for the main-memory model."""
+
+import pytest
+
+from repro.sim.memory import MainMemory
+
+
+class TestReads:
+    def test_flat_latency(self):
+        mem = MainMemory(latency_cycles=300)
+        assert mem.read(100) == 400
+
+    def test_channel_serializes_reads(self):
+        mem = MainMemory(latency_cycles=300, channel_cycles_per_access=4)
+        first = mem.read(0)
+        second = mem.read(0)
+        assert second == first + 4
+
+    def test_idle_channel_no_queueing(self):
+        mem = MainMemory()
+        mem.read(0)
+        assert mem.read(1000) == 1300
+
+    def test_read_counted(self):
+        mem = MainMemory()
+        mem.read(0)
+        mem.read(0)
+        assert mem.stats["reads"] == 2
+
+
+class TestWrites:
+    def test_write_buffered_fast(self):
+        mem = MainMemory(channel_cycles_per_access=4)
+        assert mem.write(50) == 54
+
+    def test_writes_do_not_block_reads(self):
+        """Writebacks drain through a write buffer; a future-scheduled
+        write must not delay an earlier demand read."""
+        mem = MainMemory(latency_cycles=300)
+        mem.write(10_000)  # scheduled far in the future (refill eviction)
+        assert mem.read(0) == 300
+
+    def test_write_counted(self):
+        mem = MainMemory()
+        mem.write(0)
+        assert mem.stats["writes"] == 1
+
+
+class TestLifecycle:
+    def test_reset(self):
+        mem = MainMemory()
+        mem.read(0)
+        mem.write(0)
+        mem.reset()
+        assert mem.stats["reads"] == 0
+        assert mem.read(0) == mem.latency_cycles  # channel state cleared
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            MainMemory(latency_cycles=-1)

@@ -1,0 +1,155 @@
+"""Tests for the simplified out-of-order processor model."""
+
+import pytest
+
+from repro.sim.processor import ExecutionResult, Processor, ProcessorConfig
+from repro.workloads.trace import Reference
+
+
+class FixedLatencyL2:
+    """An L2 stub with a constant response latency."""
+
+    def __init__(self, latency=10):
+        self.latency = latency
+        self.accesses = []
+        self.resets = 0
+
+    def access(self, addr, time, write=False):
+        self.accesses.append((addr, time, write))
+        from repro.core.base import L2Outcome
+        return L2Outcome(time + self.latency, True, self.latency, True, write)
+
+    def reset_stats(self):
+        self.resets += 1
+
+
+def refs(n, gap=8, write=False, dependent=False):
+    return [Reference(gap, i * 64, write, dependent) for i in range(n)]
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = ProcessorConfig()
+        assert cfg.issue_width == 4
+        assert cfg.rob_entries == 128
+        assert cfg.mshrs == 8
+        assert cfg.l1_latency == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(issue_width=0)
+        with pytest.raises(ValueError):
+            ProcessorConfig(l1_latency=-1)
+
+
+class TestIssueBandwidth:
+    def test_front_end_time_is_gap_over_width(self):
+        l2 = FixedLatencyL2(latency=1)
+        proc = Processor(l2, ProcessorConfig(issue_width=4))
+        result = proc.run(refs(100, gap=8))
+        # 800 instructions at 4-wide = 200 cycles minimum.
+        assert result.cycles >= 200
+        assert result.cycles < 260
+
+    def test_fractional_gaps_accumulate_exactly(self):
+        l2 = FixedLatencyL2(latency=1)
+        proc = Processor(l2, ProcessorConfig(issue_width=4, mshrs=512,
+                                             rob_entries=4096))
+        result = proc.run(refs(400, gap=1))
+        # 400 instructions at 4-wide = 100 cycles, not 400.
+        assert result.cycles <= 110
+
+    def test_instructions_counted(self):
+        l2 = FixedLatencyL2()
+        result = Processor(l2).run(refs(10, gap=7))
+        assert result.instructions == 70
+
+
+class TestDependenceChains:
+    def test_dependent_refs_serialize_on_l2_latency(self):
+        slow = FixedLatencyL2(latency=50)
+        dep = Processor(slow, ProcessorConfig()).run(
+            refs(50, gap=4, dependent=True))
+        slow2 = FixedLatencyL2(latency=50)
+        indep = Processor(slow2, ProcessorConfig()).run(
+            refs(50, gap=4, dependent=False))
+        assert dep.cycles > indep.cycles * 2
+
+    def test_dependent_chain_cost_scales_with_latency(self):
+        fast = Processor(FixedLatencyL2(10), ProcessorConfig()).run(
+            refs(50, gap=4, dependent=True))
+        slow = Processor(FixedLatencyL2(40), ProcessorConfig()).run(
+            refs(50, gap=4, dependent=True))
+        assert slow.cycles > fast.cycles + 50 * 25
+
+
+class TestWindowLimits:
+    def test_rob_bounds_latency_hiding(self):
+        """With a tiny ROB, long-latency loads stall the core."""
+        big = Processor(FixedLatencyL2(300),
+                        ProcessorConfig(rob_entries=4096, mshrs=64)).run(
+            refs(40, gap=8))
+        small = Processor(FixedLatencyL2(300),
+                          ProcessorConfig(rob_entries=16, mshrs=64)).run(
+            refs(40, gap=8))
+        assert small.cycles > big.cycles
+
+    def test_mshrs_bound_outstanding_requests(self):
+        few = Processor(FixedLatencyL2(300),
+                        ProcessorConfig(rob_entries=4096, mshrs=1)).run(
+            refs(40, gap=8))
+        many = Processor(FixedLatencyL2(300),
+                         ProcessorConfig(rob_entries=4096, mshrs=8)).run(
+            refs(40, gap=8))
+        assert few.cycles > many.cycles * 2
+
+    def test_stores_occupy_mshrs(self):
+        l2 = FixedLatencyL2(300)
+        result = Processor(l2, ProcessorConfig(mshrs=2)).run(
+            refs(20, gap=1, write=True))
+        # Store completions at +300 throttle issue through the 2 MSHRs.
+        assert result.cycles > 9 * 300 / 2
+
+    def test_drain_waits_for_last_load(self):
+        l2 = FixedLatencyL2(500)
+        result = Processor(l2).run(refs(1, gap=4))
+        assert result.cycles >= 500
+
+
+class TestL1Latency:
+    def test_l2_sees_requests_after_l1_latency(self):
+        l2 = FixedLatencyL2()
+        Processor(l2, ProcessorConfig(l1_latency=3)).run(refs(1, gap=4))
+        _, time, _ = l2.accesses[0]
+        assert time >= 3
+
+
+class TestWarmup:
+    def test_warmup_resets_l2_stats(self):
+        l2 = FixedLatencyL2()
+        Processor(l2).run(refs(20), warmup_refs=10)
+        assert l2.resets == 1
+
+    def test_warmup_excluded_from_counts(self):
+        l2 = FixedLatencyL2()
+        result = Processor(l2).run(refs(20, gap=8), warmup_refs=10)
+        assert result.instructions == 80
+        assert result.l2_requests == 10
+        assert result.warmup_cycles > 0
+
+    def test_zero_warmup_no_reset(self):
+        l2 = FixedLatencyL2()
+        Processor(l2).run(refs(5), warmup_refs=0)
+        assert l2.resets == 0
+
+
+class TestExecutionResult:
+    def test_ipc(self):
+        r = ExecutionResult(cycles=100, instructions=250, l2_requests=10,
+                            warmup_cycles=0)
+        assert r.ipc == pytest.approx(2.5)
+
+    def test_ipc_zero_cycles(self):
+        r = ExecutionResult(cycles=0, instructions=0, l2_requests=0,
+                            warmup_cycles=0)
+        assert r.ipc == 0.0

@@ -1,0 +1,89 @@
+"""Edge-case tests for the processor model's window mechanics."""
+
+import pytest
+
+from repro.core.base import L2Outcome
+from repro.sim.processor import Processor, ProcessorConfig
+from repro.workloads.trace import Reference
+
+
+class ScriptedL2:
+    """An L2 stub returning scripted latencies per access."""
+
+    def __init__(self, latencies):
+        self.latencies = list(latencies)
+        self.calls = []
+
+    def access(self, addr, time, write=False):
+        latency = self.latencies.pop(0) if self.latencies else 10
+        self.calls.append((addr, time, write))
+        return L2Outcome(time + latency, True, latency, True, write)
+
+    def reset_stats(self):
+        pass
+
+
+class TestWarmupBoundary:
+    def test_cycle_accounting_splits_exactly(self):
+        l2 = ScriptedL2([10] * 20)
+        trace = [Reference(8, i * 64, False, False) for i in range(20)]
+        full = Processor(l2, ProcessorConfig()).run(trace, warmup_refs=0)
+        l2b = ScriptedL2([10] * 20)
+        split = Processor(l2b, ProcessorConfig()).run(trace, warmup_refs=10)
+        assert split.warmup_cycles + split.cycles == full.cycles
+
+    def test_instructions_split_exactly(self):
+        l2 = ScriptedL2([10] * 10)
+        trace = [Reference(5, i * 64, False, False) for i in range(10)]
+        result = Processor(l2, ProcessorConfig()).run(trace, warmup_refs=4)
+        assert result.instructions == 6 * 5
+
+
+class TestOrderingInvariants:
+    def test_issue_times_nondecreasing(self):
+        """The resource models rely on arrival-ordered requests."""
+        l2 = ScriptedL2([300, 5, 300, 5, 300, 5] * 10)
+        trace = [Reference(3, i * 64, i % 3 == 0, i % 2 == 0)
+                 for i in range(60)]
+        Processor(l2, ProcessorConfig()).run(trace)
+        times = [t for _, t, _ in l2.calls]
+        assert times == sorted(times)
+
+    def test_dependent_never_issues_before_producer_returns(self):
+        l2 = ScriptedL2([200, 5])
+        trace = [Reference(4, 0, False, False),
+                 Reference(4, 64, False, True)]
+        Processor(l2, ProcessorConfig()).run(trace)
+        (_, t0, _), (_, t1, _) = l2.calls
+        # Producer completes at t0 + 200; the dependent access leaves the
+        # core no earlier than that (plus its L1 latency).
+        assert t1 >= t0 + 200
+
+    def test_independent_refs_pipeline_freely(self):
+        l2 = ScriptedL2([200, 200])
+        trace = [Reference(4, 0, False, False),
+                 Reference(4, 64, False, False)]
+        Processor(l2, ProcessorConfig()).run(trace)
+        (_, t0, _), (_, t1, _) = l2.calls
+        assert t1 - t0 < 10  # overlapped, not serialized
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_trace(self):
+        result = Processor(ScriptedL2([])).run([])
+        assert result.cycles == 0
+        assert result.instructions == 0
+
+    def test_zero_gap_references(self):
+        l2 = ScriptedL2([5] * 10)
+        trace = [Reference(0, i * 64, False, False) for i in range(10)]
+        result = Processor(l2, ProcessorConfig(mshrs=64)).run(trace)
+        assert result.instructions == 0
+        assert result.cycles >= 5  # still waits for the last load
+
+    def test_single_write_does_not_stall_drain(self):
+        l2 = ScriptedL2([500])
+        trace = [Reference(4, 0, True, False)]
+        result = Processor(l2).run(trace)
+        # Stores do not hold retirement at the end of the run.
+        assert result.cycles < 500

@@ -1,0 +1,75 @@
+"""Tests for the twelve calibrated benchmark profiles."""
+
+import pytest
+
+from repro.analysis.tables import PAPER_TABLE6
+from repro.workloads.profiles import PROFILES, benchmark_names, get_profile
+
+PAPER_BENCHMARKS = {
+    "bzip", "gcc", "mcf", "perl",          # SPECint
+    "equake", "swim", "applu", "lucas",    # SPECfp
+    "apache", "zeus", "sjbb", "oltp",      # commercial
+}
+
+
+class TestRoster:
+    def test_all_twelve_present(self):
+        assert set(benchmark_names()) == PAPER_BENCHMARKS
+
+    def test_suites(self):
+        suites = {p.suite for p in PROFILES.values()}
+        assert suites == {"SPECint", "SPECfp", "commercial"}
+        assert sum(p.suite == "SPECint" for p in PROFILES.values()) == 4
+        assert sum(p.suite == "SPECfp" for p in PROFILES.values()) == 4
+        assert sum(p.suite == "commercial" for p in PROFILES.values()) == 4
+
+    def test_reference_table_covers_roster(self):
+        assert set(PAPER_TABLE6) == PAPER_BENCHMARKS
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            get_profile("linpack")
+
+    def test_descriptions_present(self):
+        for profile in PROFILES.values():
+            assert len(profile.description) > 10
+
+
+class TestCalibrationStructure:
+    def test_streaming_benchmarks_are_miss_dominated(self):
+        """swim/applu/lucas stream through footprints far larger than
+        the 16 MB cache (Table 6's 13-40 misses per kilo-instruction)."""
+        for name in ("swim", "applu", "lucas"):
+            spec = get_profile(name).spec
+            assert spec.stream_fraction >= 0.8
+            assert spec.stream_blocks * 64 > 16 * 2**20
+
+    def test_int_benchmarks_fit_in_cache(self):
+        for name in ("bzip", "gcc", "perl"):
+            spec = get_profile(name).spec
+            assert spec.hot_blocks * 64 < 4 * 2**20
+            assert spec.stream_fraction == 0.0
+
+    def test_mcf_is_pointer_chasing(self):
+        spec = get_profile("mcf").spec
+        assert spec.dependent_fraction >= 0.5
+        assert spec.hot_blocks * 64 > 8 * 2**20  # large footprint
+        assert not spec.scatter  # contiguous arrays
+
+    def test_equake_mixes_reuse_and_streaming(self):
+        spec = get_profile("equake").spec
+        assert spec.stream_fraction > 0.3
+        assert spec.hot_blocks * 64 > 8 * 2**20
+
+    def test_request_rates_ordered_like_paper(self):
+        """Table 6 column 2: gcc and mcf have the highest L2 request
+        rates; perl the lowest."""
+        rates = {name: get_profile(name).l2_requests_per_kinstr
+                 for name in PROFILES}
+        assert rates["mcf"] > rates["bzip"]
+        assert rates["gcc"] > rates["bzip"]
+        assert rates["perl"] == min(rates.values())
+
+    def test_commercial_profiles_have_cold_tail(self):
+        for name in ("apache", "zeus", "sjbb", "oltp"):
+            assert get_profile(name).spec.cold_fraction > 0

@@ -1,0 +1,56 @@
+"""Tests for the markdown report builder."""
+
+import pytest
+
+from repro.analysis.experiments import run_design_grid
+from repro.analysis.report import build_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    benchmarks = ("perl", "lucas")
+    main = run_design_grid(designs=("SNUCA2", "DNUCA", "TLC"),
+                           benchmarks=benchmarks, n_refs=2_500)
+    family = run_design_grid(
+        designs=("SNUCA2", "TLC", "TLCopt1000", "TLCopt500", "TLCopt350"),
+        benchmarks=benchmarks, n_refs=2_500)
+    return build_report(main_grid=main, family_grid=family)
+
+
+class TestReportStructure:
+    def test_all_sections_present(self, report):
+        for heading in (
+            "# Reproduction report",
+            "## Signal integrity",
+            "## Table 2",
+            "## Figure 5",
+            "## Figure 6",
+            "## Table 6",
+            "## Table 7",
+            "## Table 8",
+            "## Table 9",
+            "## Figure 7",
+            "## Figure 8",
+        ):
+            assert heading in report
+
+    def test_contains_benchmarks(self, report):
+        assert "perl" in report and "lucas" in report
+
+    def test_contains_all_designs(self, report):
+        for design in ("TLC", "TLCopt350", "SNUCA2", "DNUCA"):
+            assert design in report
+
+    def test_markdown_tables_well_formed(self, report):
+        lines = report.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("|") and set(line.strip("| ")) <= {"-", "|", " "}:
+                header = lines[i - 1]
+                assert header.count("|") == line.count("|"), (header, line)
+
+    def test_signal_integrity_verdicts(self, report):
+        assert report.count("PASS") >= 3
+
+    def test_paper_reference_values_embedded(self, report):
+        # Table 7's published totals appear alongside measured ones.
+        assert "110" in report and "91" in report

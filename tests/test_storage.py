@@ -1,0 +1,72 @@
+"""Tests for experiment-result persistence."""
+
+import pytest
+
+from repro.analysis.experiments import run_design_grid
+from repro.analysis.storage import (
+    load_grid,
+    result_from_dict,
+    result_to_dict,
+    save_grid,
+)
+from repro.sim.system import run_system
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return run_design_grid(designs=("SNUCA2", "TLC"),
+                           benchmarks=("perl",), n_refs=2_000)
+
+
+class TestResultSerialization:
+    def test_roundtrip(self):
+        result = run_system("TLC", "perl", n_refs=1_500)
+        restored = result_from_dict(result_to_dict(result))
+        assert restored == result
+
+    def test_unknown_field_rejected(self):
+        result = run_system("TLC", "perl", n_refs=1_000)
+        payload = result_to_dict(result)
+        payload["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown"):
+            result_from_dict(payload)
+
+    def test_missing_field_rejected(self):
+        result = run_system("TLC", "perl", n_refs=1_000)
+        payload = result_to_dict(result)
+        del payload["cycles"]
+        with pytest.raises(ValueError, match="missing"):
+            result_from_dict(payload)
+
+
+class TestGridPersistence:
+    def test_roundtrip(self, small_grid, tmp_path):
+        path = str(tmp_path / "grid.json")
+        save_grid(path, small_grid)
+        restored = load_grid(path)
+        assert restored.designs == small_grid.designs
+        assert restored.benchmarks == small_grid.benchmarks
+        assert restored.results == small_grid.results
+
+    def test_normalization_survives_roundtrip(self, small_grid, tmp_path):
+        path = str(tmp_path / "grid.json")
+        save_grid(path, small_grid)
+        restored = load_grid(path)
+        assert (restored.normalized_execution_time("TLC", "perl")
+                == small_grid.normalized_execution_time("TLC", "perl"))
+
+    def test_version_mismatch_rejected(self, small_grid, tmp_path):
+        import json
+        path = tmp_path / "grid.json"
+        save_grid(str(path), small_grid)
+        document = json.loads(path.read_text())
+        document["format_version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_grid(str(path))
+
+    def test_json_is_human_readable(self, small_grid, tmp_path):
+        path = tmp_path / "grid.json"
+        save_grid(str(path), small_grid)
+        text = path.read_text()
+        assert '"design": "TLC"' in text

@@ -1,0 +1,172 @@
+"""Tests for the synthetic trace generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.synthetic import (
+    L2_CAPACITY_BLOCKS,
+    TraceSpec,
+    generate_trace,
+    resident_block_addresses,
+    scatter_block,
+    _scatter_array,
+)
+
+
+class TestTraceSpecValidation:
+    def test_defaults_valid(self):
+        TraceSpec(mean_gap=10.0)
+
+    def test_gap_too_small(self):
+        with pytest.raises(ValueError):
+            TraceSpec(mean_gap=0.5)
+
+    def test_fractions_must_sum_to_one_or_less(self):
+        with pytest.raises(ValueError):
+            TraceSpec(mean_gap=10, stream_fraction=0.7, cold_fraction=0.5)
+
+    def test_probabilities_bounded(self):
+        with pytest.raises(ValueError):
+            TraceSpec(mean_gap=10, write_fraction=1.5)
+
+    def test_interleave_bounded(self):
+        with pytest.raises(ValueError):
+            TraceSpec(mean_gap=10, stream_blocks=4, stream_interleave=8)
+
+    def test_hot_fraction_derived(self):
+        spec = TraceSpec(mean_gap=10, stream_fraction=0.3, cold_fraction=0.2)
+        assert spec.hot_fraction == pytest.approx(0.5)
+
+
+class TestScatter:
+    def test_bijective_on_large_range(self):
+        xs = np.arange(500_000, dtype=np.int64)
+        ys = _scatter_array(xs)
+        assert len(np.unique(ys)) == len(xs)
+
+    def test_scalar_matches_vector(self):
+        xs = np.array([0, 1, 12345, 2**30], dtype=np.int64)
+        ys = _scatter_array(xs)
+        for x, y in zip(xs, ys):
+            assert scatter_block(int(x)) == int(y)
+
+    def test_output_within_40_bits(self):
+        assert scatter_block(2**39) < 2**40
+
+    def test_tags_become_diverse(self):
+        """Consecutive blocks must not share tag bits after scattering."""
+        tags = {scatter_block(b) >> 14 for b in range(100)}
+        assert len(tags) > 90
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        spec = TraceSpec(mean_gap=20.0, hot_blocks=1000)
+        assert generate_trace(spec, 500, seed=3) == generate_trace(spec, 500, seed=3)
+
+    def test_different_seeds_differ(self):
+        spec = TraceSpec(mean_gap=20.0, hot_blocks=1000)
+        assert generate_trace(spec, 500, seed=3) != generate_trace(spec, 500, seed=4)
+
+    def test_length(self):
+        spec = TraceSpec(mean_gap=20.0)
+        assert len(generate_trace(spec, 777, seed=0)) == 777
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            generate_trace(TraceSpec(mean_gap=10), 0)
+
+    def test_addresses_block_aligned(self):
+        spec = TraceSpec(mean_gap=10.0, stream_fraction=0.3, cold_fraction=0.3)
+        for ref in generate_trace(spec, 300, seed=1):
+            assert ref.addr % 64 == 0
+
+    def test_mean_gap_approximately_respected(self):
+        spec = TraceSpec(mean_gap=50.0)
+        trace = generate_trace(spec, 20_000, seed=2)
+        mean = sum(r.gap for r in trace) / len(trace)
+        assert mean == pytest.approx(50.0, rel=0.05)
+
+    def test_write_fraction_respected(self):
+        spec = TraceSpec(mean_gap=10.0, write_fraction=0.4)
+        trace = generate_trace(spec, 20_000, seed=2)
+        frac = sum(r.write for r in trace) / len(trace)
+        assert frac == pytest.approx(0.4, abs=0.02)
+
+    def test_writes_are_never_dependent(self):
+        spec = TraceSpec(mean_gap=10.0, write_fraction=0.5,
+                         dependent_fraction=0.9)
+        for ref in generate_trace(spec, 2_000, seed=0):
+            assert not (ref.write and ref.dependent)
+
+    def test_pure_hot_spec_stays_in_hot_population(self):
+        spec = TraceSpec(mean_gap=10.0, hot_blocks=256, scatter=False)
+        trace = generate_trace(spec, 5_000, seed=0)
+        blocks = {r.addr // 64 for r in trace}
+        assert blocks <= set(range(256))
+
+    def test_hot_skew_concentrates_references(self):
+        flat = TraceSpec(mean_gap=10.0, hot_blocks=10_000, hot_skew=1.0,
+                         scatter=False)
+        skewed = TraceSpec(mean_gap=10.0, hot_blocks=10_000, hot_skew=4.0,
+                           scatter=False)
+        def top100_mass(spec):
+            trace = generate_trace(spec, 20_000, seed=5)
+            return sum(1 for r in trace if r.addr // 64 < 100) / len(trace)
+        assert top100_mass(skewed) > 3 * top100_mass(flat)
+
+    def test_stream_never_repeats_within_footprint(self):
+        spec = TraceSpec(mean_gap=10.0, stream_fraction=1.0,
+                         stream_blocks=1 << 22, scatter=False)
+        trace = generate_trace(spec, 10_000, seed=0)
+        addrs = [r.addr for r in trace]
+        assert len(set(addrs)) == len(addrs)
+
+    def test_interleaved_streams_advance_in_lanes(self):
+        spec = TraceSpec(mean_gap=10.0, stream_fraction=1.0,
+                         stream_blocks=1 << 20, stream_interleave=4,
+                         scatter=False)
+        trace = generate_trace(spec, 100, seed=0)
+        blocks = [r.addr // 64 for r in trace]
+        lane_size = (1 << 20) // 4
+        lanes = sorted({b % (1 << 26) // lane_size for b in blocks[:4]})
+        assert len(lanes) == 4
+
+
+class TestResidentBlocks:
+    def test_hot_only_spec(self):
+        spec = TraceSpec(mean_gap=10.0, hot_blocks=100, scatter=False)
+        resident = resident_block_addresses(spec)
+        assert len(resident) == 100
+        # Least popular (highest rank) first.
+        assert resident[0] == 99 * 64
+        assert resident[-1] == 0
+
+    def test_stream_residue_bounded_by_capacity(self):
+        spec = TraceSpec(mean_gap=10.0, hot_blocks=10,
+                         stream_fraction=0.5, stream_blocks=1 << 23)
+        resident = resident_block_addresses(spec)
+        assert len(resident) <= L2_CAPACITY_BLOCKS + 10
+
+    def test_residue_addresses_unique(self):
+        spec = TraceSpec(mean_gap=10.0, hot_blocks=50,
+                         stream_fraction=0.5, stream_blocks=1 << 20,
+                         stream_interleave=4)
+        resident = resident_block_addresses(spec)
+        assert len(set(resident)) == len(resident)
+
+    def test_scatter_consistent_with_trace(self):
+        """Pre-warmed hot blocks must be the blocks the trace references."""
+        spec = TraceSpec(mean_gap=10.0, hot_blocks=64)
+        resident = set(resident_block_addresses(spec))
+        trace = generate_trace(spec, 2_000, seed=1)
+        assert {r.addr for r in trace} <= resident
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=10_000),
+       st.integers(min_value=0, max_value=2**31))
+def test_generation_deterministic_property(n, seed):
+    spec = TraceSpec(mean_gap=15.0, hot_blocks=512, stream_fraction=0.2)
+    assert generate_trace(spec, n, seed) == generate_trace(spec, n, seed)

@@ -1,0 +1,187 @@
+"""Tests for the base Transmission Line Cache design."""
+
+import pytest
+
+from repro.core.config import TLC_BASE
+from repro.core.tlc import TransmissionLineCache
+from repro.sim.memory import MainMemory
+
+
+def make_tlc(**kwargs):
+    return TransmissionLineCache(memory=MainMemory(), **kwargs)
+
+
+def addr_for_bank(tlc, bank, set_index=0, tag=1):
+    return tlc.addr_map.rebuild(tag, set_index, bank)
+
+
+class TestConstruction:
+    def test_32_banks_of_512kb(self):
+        tlc = make_tlc()
+        assert len(tlc.banks) == 32
+        sets = tlc.banks[0].num_sets
+        assert sets * 4 * 64 == 512 * 1024
+
+    def test_rejects_wrong_config_kind(self):
+        from repro.core.config import SNUCA2
+        with pytest.raises(ValueError):
+            TransmissionLineCache(config=SNUCA2)
+
+
+class TestUncontendedLatency:
+    def test_range_matches_table2(self):
+        tlc = make_tlc()
+        latencies = {tlc.uncontended_latency(addr_for_bank(tlc, b))
+                     for b in range(32)}
+        assert min(latencies) == 10
+        assert max(latencies) == 16
+
+    def test_read_hit_latency_equals_prediction(self):
+        tlc = make_tlc()
+        addr = addr_for_bank(tlc, 0)
+        tlc.install(addr)
+        outcome = tlc.access(addr, time=1000)
+        assert outcome.hit
+        assert outcome.lookup_latency == tlc.uncontended_latency(addr)
+        assert outcome.predictable
+
+    def test_far_bank_slower_than_near_bank(self):
+        tlc = make_tlc()
+        # Pairs in the die's central rows (pair 3 -> banks 6/7) land at
+        # the controller's centre; corner pairs (pair 0 -> banks 0/1)
+        # pay the full internal wire delay.
+        near, far = addr_for_bank(tlc, 6), addr_for_bank(tlc, 0)
+        tlc.install(near)
+        tlc.install(far)
+        near_out = tlc.access(near, time=0)
+        far_out = tlc.access(far, time=1000)
+        assert far_out.lookup_latency > near_out.lookup_latency
+
+
+class TestReadPath:
+    def test_miss_goes_to_memory(self):
+        tlc = make_tlc()
+        outcome = tlc.access(0x10000, time=0)
+        assert not outcome.hit
+        assert outcome.complete_time >= tlc.memory.latency_cycles
+
+    def test_miss_then_hit(self):
+        tlc = make_tlc()
+        tlc.access(0x10000, time=0)
+        assert tlc.access(0x10000, time=1000).hit
+
+    def test_exactly_one_bank_accessed_per_request(self):
+        tlc = make_tlc()
+        for i in range(10):
+            tlc.access(i * 64, time=i * 100)
+        assert tlc.banks_accessed_per_request == 1.0
+
+    def test_miss_determination_latency_is_uncontended(self):
+        tlc = make_tlc()
+        addr = addr_for_bank(tlc, 3)
+        outcome = tlc.access(addr, time=0)
+        assert outcome.lookup_latency == tlc.uncontended_latency(addr)
+        assert outcome.predictable
+
+
+class TestContention:
+    def test_same_bank_back_to_back_contends(self):
+        tlc = make_tlc()
+        a = addr_for_bank(tlc, 0, set_index=0)
+        b = addr_for_bank(tlc, 0, set_index=1)
+        tlc.install(a)
+        tlc.install(b)
+        tlc.access(a, time=0)
+        second = tlc.access(b, time=1)
+        assert second.lookup_latency > tlc.uncontended_latency(b)
+        assert not second.predictable
+
+    def test_different_pairs_do_not_contend(self):
+        tlc = make_tlc()
+        a = addr_for_bank(tlc, 0)
+        b = addr_for_bank(tlc, 10)
+        tlc.install(a)
+        tlc.install(b)
+        tlc.access(a, time=0)
+        second = tlc.access(b, time=1)
+        assert second.predictable
+
+    def test_paired_banks_share_links(self):
+        tlc = make_tlc()
+        a = addr_for_bank(tlc, 0)
+        b = addr_for_bank(tlc, 1)  # same pair, different bank
+        tlc.install(a)
+        tlc.install(b)
+        tlc.access(a, time=0)
+        second = tlc.access(b, time=1)
+        # The response link is shared, so the second hit queues behind
+        # the first block transfer even though the banks differ.
+        assert second.lookup_latency > tlc.uncontended_latency(b)
+
+
+class TestWritePath:
+    def test_write_needs_no_tag_comparison(self):
+        """Stores complete when the data lands at the bank."""
+        tlc = make_tlc()
+        outcome = tlc.access(0x4000, time=0, write=True)
+        assert outcome.write
+        assert outcome.predictable
+        assert outcome.complete_time < 50
+
+    def test_write_allocates(self):
+        tlc = make_tlc()
+        tlc.access(0x4000, time=0, write=True)
+        assert tlc.access(0x4000, time=100).hit
+
+    def test_write_hit_marks_dirty_then_evicts_with_writeback(self):
+        tlc = make_tlc()
+        base = addr_for_bank(tlc, 0, set_index=0)
+        stride = tlc.addr_map.rebuild(1, 0, 0) - tlc.addr_map.rebuild(0, 0, 0)
+        tlc.access(base, time=0, write=True)
+        for i in range(1, 5):  # fill the 4-way set and evict
+            tlc.access(base + i * stride, time=i * 1000)
+        assert tlc.stats["writebacks"] == 1
+        assert tlc.memory.stats["writes"] == 1
+
+
+class TestStatsAndEnergy:
+    def test_lookup_histogram_counts_read_hits_only(self):
+        tlc = make_tlc()
+        tlc.access(0x0, time=0)               # read miss
+        tlc.access(0x40, time=500, write=True)  # write
+        tlc.access(0x0, time=1000)            # read hit
+        assert tlc.lookup_latencies.count == 1
+
+    def test_network_energy_accumulates(self):
+        tlc = make_tlc()
+        tlc.access(0x0, time=0)
+        first = tlc.network_energy_j()
+        tlc.access(0x40, time=1000)
+        assert tlc.network_energy_j() > first > 0
+
+    def test_utilization_positive_after_traffic(self):
+        tlc = make_tlc()
+        tlc.install(0x0)
+        tlc.access(0x0, time=0)
+        assert tlc.link_utilization(100) > 0
+
+    def test_reset_stats_preserves_contents(self):
+        tlc = make_tlc()
+        tlc.access(0x0, time=0)
+        tlc.reset_stats()
+        assert tlc.stats["requests"] == 0
+        assert tlc.network_energy_j() == 0
+        assert tlc.access(0x0, time=10_000).hit  # still cached
+
+    def test_install_is_timing_free(self):
+        tlc = make_tlc()
+        tlc.install(0x1234c0)
+        assert tlc.stats["requests"] == 0
+        assert tlc.network_energy_j() == 0.0
+        assert tlc.access(0x1234c0, time=0).hit
+
+    def test_install_idempotent(self):
+        tlc = make_tlc()
+        tlc.install(0x40)
+        tlc.install(0x40)
+        assert tlc.banks[tlc.addr_map.bank_index(0x40)].occupied_blocks == 1

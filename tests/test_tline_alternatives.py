@@ -1,0 +1,68 @@
+"""Tests for alternative signalling schemes."""
+
+import pytest
+
+from repro.tline.alternatives import (
+    cheapest_at,
+    compare_schemes,
+    current_mode,
+    differential,
+    single_ended,
+)
+
+Z0 = 36.0
+
+
+class TestSchemeProperties:
+    def test_single_ended_has_no_static_power(self):
+        scheme = single_ended(Z0)
+        assert scheme.static_power_w == 0.0
+        assert scheme.lines_per_bit == 1
+
+    def test_differential_doubles_wires(self):
+        assert differential(Z0).lines_per_bit == 2
+
+    def test_differential_improves_noise_immunity(self):
+        assert (differential(Z0).relative_noise_immunity
+                > single_ended(Z0).relative_noise_immunity)
+
+    def test_current_mode_burns_static_power(self):
+        assert current_mode(Z0).static_power_w > 0
+
+    def test_current_mode_low_dynamic_energy(self):
+        assert (current_mode(Z0).dynamic_energy_per_bit_j
+                < single_ended(Z0).dynamic_energy_per_bit_j)
+
+    def test_utilization_validated(self):
+        with pytest.raises(ValueError):
+            single_ended(Z0).average_power_w(1.5)
+
+
+class TestPowerAtUtilization:
+    def test_average_power_increases_with_utilization(self):
+        scheme = single_ended(Z0)
+        assert scheme.average_power_w(0.10) > scheme.average_power_w(0.01)
+
+    def test_idle_single_ended_draws_nothing(self):
+        assert single_ended(Z0).average_power_w(0.0) == 0.0
+
+    def test_idle_current_mode_still_burns(self):
+        assert current_mode(Z0).average_power_w(0.0) > 0
+
+
+class TestPapersChoice:
+    def test_single_ended_cheapest_at_cache_utilizations(self):
+        """Fig. 7: TLC links run at a few percent utilization — where the
+        paper says static-biased drivers are unaffordable."""
+        for utilization in (0.005, 0.02, 0.05):
+            name, _ = cheapest_at(Z0, utilization)
+            assert name == "single-ended voltage"
+
+    def test_current_mode_wins_only_on_busy_links(self):
+        assert cheapest_at(Z0, 0.95)[0] == "current mode"
+        # ...and the crossover sits above the base TLC's <2% regime.
+        assert cheapest_at(Z0, 0.02)[0] == "single-ended voltage"
+
+    def test_compare_lists_all_three(self):
+        schemes = compare_schemes(Z0, 0.05)
+        assert len(schemes) == 3

@@ -1,0 +1,71 @@
+"""Tests for crosstalk / shielding analysis."""
+
+import pytest
+
+from repro.tline.geometry import TABLE1_LINES
+from repro.tline.noise import (
+    SHIELD_RESIDUE,
+    analyze_crosstalk,
+    mutual_capacitance,
+    shielding_improvement,
+)
+
+
+class TestMutualCapacitance:
+    def test_shield_reduces_coupling(self):
+        g = TABLE1_LINES[0]
+        assert (mutual_capacitance(g, shielded=True)
+                < mutual_capacitance(g, shielded=False) * 0.1)
+
+    def test_residue_fraction(self):
+        g = TABLE1_LINES[0]
+        ratio = (mutual_capacitance(g, shielded=True)
+                 / mutual_capacitance(g, shielded=False))
+        assert ratio == pytest.approx(SHIELD_RESIDUE)
+
+    def test_wider_spacing_less_coupling(self):
+        narrow, wide = TABLE1_LINES[0], TABLE1_LINES[2]
+        assert (mutual_capacitance(wide, shielded=False)
+                < mutual_capacitance(narrow, shielded=False) * 1.05)
+
+
+class TestCrosstalkAnalysis:
+    @pytest.mark.parametrize("geometry", TABLE1_LINES, ids=lambda g: g.name)
+    def test_shielded_lines_pass_noise_check(self, geometry):
+        """The paper's claim: shielded single-ended signalling survives
+        the noisy environment."""
+        report = analyze_crosstalk(geometry, shielded=True)
+        assert report.passes
+        assert report.worst_case_noise_v < 0.1 * 0.9  # well under 10 % Vdd
+
+    @pytest.mark.parametrize("geometry", TABLE1_LINES, ids=lambda g: g.name)
+    def test_unshielded_lines_are_marginal_or_fail(self, geometry):
+        shielded = analyze_crosstalk(geometry, shielded=True)
+        unshielded = analyze_crosstalk(geometry, shielded=False)
+        assert unshielded.worst_case_noise_v > 5 * shielded.worst_case_noise_v
+
+    def test_forward_coupling_cancels_in_tem(self):
+        report = analyze_crosstalk(TABLE1_LINES[0])
+        assert report.forward_coefficient == pytest.approx(0.0, abs=1e-12)
+
+    def test_margin_shrinks_with_attenuation(self):
+        strong = analyze_crosstalk(TABLE1_LINES[0],
+                                   received_amplitude_fraction=0.9)
+        weak = analyze_crosstalk(TABLE1_LINES[0],
+                                 received_amplitude_fraction=0.75)
+        assert weak.noise_margin_v < strong.noise_margin_v
+
+    def test_backward_coefficient_formula(self):
+        report = analyze_crosstalk(TABLE1_LINES[1], shielded=False)
+        ratio = report.cm_per_m / report.c_per_m
+        assert report.backward_coefficient == pytest.approx(ratio / 2)
+
+
+class TestShieldingImprovement:
+    def test_improvement_is_the_residue_inverse(self):
+        improvement = shielding_improvement(TABLE1_LINES[0])
+        assert improvement == pytest.approx(1.0 / SHIELD_RESIDUE)
+
+    def test_improvement_substantial_for_all_classes(self):
+        for geometry in TABLE1_LINES:
+            assert shielding_improvement(geometry) > 10

@@ -1,0 +1,85 @@
+"""Tests for the paper's two dynamic-power equations and the crossover."""
+
+import pytest
+
+from repro.tech import TECH_45NM
+from repro.tline.power import (
+    conventional_dynamic_power,
+    conventional_energy_per_bit,
+    crossover_length,
+    transmission_line_dynamic_power,
+    transmission_line_energy_per_bit,
+)
+
+
+class TestConventionalPower:
+    def test_formula(self):
+        """P = alpha * C * V^2 * f."""
+        cap = 2e-12
+        expected = 0.5 * cap * TECH_45NM.vdd ** 2 * TECH_45NM.frequency_hz
+        assert conventional_dynamic_power(cap, alpha=0.5) == pytest.approx(expected)
+
+    def test_scales_with_activity(self):
+        full = conventional_dynamic_power(1e-12, alpha=1.0)
+        half = conventional_dynamic_power(1e-12, alpha=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            conventional_dynamic_power(-1e-12)
+
+    def test_energy_per_bit_linear_in_length(self):
+        assert conventional_energy_per_bit(2e-2) == pytest.approx(
+            2 * conventional_energy_per_bit(1e-2))
+
+
+class TestTransmissionLinePower:
+    def test_formula(self):
+        """P = alpha * t_b * V^2 / (R_D + Z_0) * f."""
+        z0 = 50.0
+        expected = (TECH_45NM.cycle_s * TECH_45NM.vdd ** 2 / (2 * z0)
+                    * TECH_45NM.frequency_hz)
+        assert transmission_line_dynamic_power(z0) == pytest.approx(expected)
+
+    def test_matched_source_default(self):
+        assert transmission_line_dynamic_power(40.0) == pytest.approx(
+            transmission_line_dynamic_power(40.0, rd_ohm=40.0))
+
+    def test_higher_source_resistance_lowers_power(self):
+        assert (transmission_line_dynamic_power(40.0, rd_ohm=120.0)
+                < transmission_line_dynamic_power(40.0, rd_ohm=40.0))
+
+    def test_invalid_impedance(self):
+        with pytest.raises(ValueError):
+            transmission_line_dynamic_power(0.0)
+
+    def test_shorter_pulse_less_energy(self):
+        full = transmission_line_energy_per_bit(50.0, bit_time_s=100e-12)
+        half = transmission_line_energy_per_bit(50.0, bit_time_s=50e-12)
+        assert half == pytest.approx(full / 2)
+
+
+class TestCrossover:
+    def test_paper_inequality_at_crossover(self):
+        """At the crossover length, t_b/(2*Z0) == C(length)."""
+        z0 = 50.0
+        length = crossover_length(z0)
+        cap = TECH_45NM.conventional_wire_cap_per_m * length
+        assert cap == pytest.approx(TECH_45NM.cycle_s / (2 * z0))
+
+    def test_crossover_is_sub_centimetre_scale(self):
+        """The paper concludes long (~1 cm) global links favour
+        transmission lines; the crossover must land well below the
+        1.3 cm maximum TLC run."""
+        length = crossover_length(35.0)
+        assert 1e-3 < length < 1.3e-2
+
+    def test_energy_comparison_brackets_crossover(self):
+        z0 = 35.0
+        cross = crossover_length(z0)
+        tl = transmission_line_energy_per_bit(z0)
+        assert conventional_energy_per_bit(cross * 2) > tl
+        assert conventional_energy_per_bit(cross / 2) < tl
+
+    def test_higher_impedance_crosses_earlier(self):
+        assert crossover_length(80.0) < crossover_length(30.0)

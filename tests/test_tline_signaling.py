@@ -1,0 +1,64 @@
+"""Tests for the signalling acceptance criteria (Section 5's physical flow)."""
+
+import pytest
+
+from repro.tech import TECH_45NM, Technology
+from repro.tline.geometry import TABLE1_LINES
+from repro.tline.signaling import (
+    MIN_AMPLITUDE_FRACTION,
+    MIN_WIDTH_FRACTION,
+    evaluate_link,
+)
+
+
+class TestPaperCriteria:
+    def test_thresholds_match_paper(self):
+        assert MIN_AMPLITUDE_FRACTION == 0.75
+        assert MIN_WIDTH_FRACTION == 0.40
+
+    @pytest.mark.parametrize("geometry", TABLE1_LINES, ids=lambda g: g.name)
+    def test_every_table1_line_is_usable(self, geometry):
+        """The paper's design intent: all Table 1 lines pass at 10 GHz."""
+        report = evaluate_link(geometry.length)
+        assert report.meets_amplitude, (
+            f"{geometry.name}: amplitude {report.amplitude_fraction:.2f}")
+        assert report.meets_width, (
+            f"{geometry.name}: width {report.width_fraction:.2f}")
+        assert report.usable
+
+    @pytest.mark.parametrize("geometry", TABLE1_LINES, ids=lambda g: g.name)
+    def test_single_cycle_latency(self, geometry):
+        """Table 2's uncontended latencies assume one cycle of flight."""
+        report = evaluate_link(geometry.length)
+        assert report.latency_cycles == 1
+
+
+class TestScaling:
+    def test_longer_lines_weaker_signal(self):
+        short = evaluate_link(0.009)
+        long = evaluate_link(0.013)
+        assert long.amplitude_fraction < short.amplitude_fraction
+
+    def test_default_geometry_matches_length_class(self):
+        report = evaluate_link(0.010)
+        assert report.geometry.width == pytest.approx(2.5e-6)
+
+    def test_explicit_geometry_honoured(self):
+        report = evaluate_link(0.009, geometry=TABLE1_LINES[2])
+        assert report.geometry.width == pytest.approx(3.0e-6)
+
+    def test_undersized_line_fails_criteria(self):
+        """A 1.3 cm run on the narrow 0.9 cm geometry class should fail —
+        the reason Table 1 widens longer lines."""
+        import dataclasses
+        skinny = dataclasses.replace(TABLE1_LINES[0], length=0.013)
+        report = evaluate_link(0.013, geometry=skinny)
+        assert report.amplitude_fraction < evaluate_link(0.013).amplitude_fraction
+
+    def test_lower_frequency_design_point(self):
+        """At 5 GHz the same lines have two cycles of slack per bit and
+        still pass."""
+        tech = Technology(name="45nm-5GHz", frequency_hz=5e9)
+        report = evaluate_link(0.013, tech=tech)
+        assert report.usable
+        assert report.latency_cycles == 1

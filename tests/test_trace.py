@@ -1,0 +1,60 @@
+"""Tests for trace records and the save/load format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.trace import Reference, load_trace, save_trace
+
+
+references = st.lists(
+    st.builds(
+        Reference,
+        gap=st.integers(min_value=0, max_value=10_000),
+        addr=st.integers(min_value=0, max_value=2**46).map(lambda a: a & ~63),
+        write=st.booleans(),
+        dependent=st.booleans(),
+    ),
+    max_size=200,
+)
+
+
+class TestReference:
+    def test_fields(self):
+        r = Reference(5, 0x1000, True, False)
+        assert r.gap == 5
+        assert r.addr == 0x1000
+        assert r.write and not r.dependent
+
+    def test_tuple_compatible(self):
+        gap, addr, write, dep = Reference(1, 2, False, True)
+        assert (gap, addr, write, dep) == (1, 2, False, True)
+
+
+class TestSaveLoad:
+    def test_roundtrip_small(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        trace = [Reference(3, 0x40, False, True), Reference(9, 0x80, True, False)]
+        assert save_trace(path, trace) == 2
+        assert load_trace(path) == trace
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# a comment\n\n5 40 0 1\n")
+        assert load_trace(str(path)) == [Reference(5, 0x40, False, True)]
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("5 40 0\n")
+        with pytest.raises(ValueError, match=":1:"):
+            load_trace(str(path))
+
+    @given(references)
+    def test_roundtrip_property(self, trace):
+        import io, os, tempfile
+        fd, path = tempfile.mkstemp()
+        os.close(fd)
+        try:
+            save_trace(path, trace)
+            assert load_trace(path) == trace
+        finally:
+            os.unlink(path)
