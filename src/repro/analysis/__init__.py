@@ -22,6 +22,15 @@ from repro.analysis.figures import (
     latency_histogram_sparkline,
 )
 from repro.analysis.report import build_report
+from repro.analysis.runner import (
+    CellSpec,
+    ResultCache,
+    cache_key,
+    code_version_stamp,
+    execute_cells,
+    run_cell,
+    run_grid,
+)
 from repro.analysis.sweeps import (
     dependence_sweep,
     frequency_sweep,
@@ -45,6 +54,13 @@ __all__ = [
     "horizontal_bar",
     "latency_histogram_sparkline",
     "build_report",
+    "CellSpec",
+    "ResultCache",
+    "cache_key",
+    "code_version_stamp",
+    "execute_cells",
+    "run_cell",
+    "run_grid",
     "dependence_sweep",
     "frequency_sweep",
     "memory_latency_sweep",

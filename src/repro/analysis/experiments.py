@@ -4,6 +4,11 @@ The paper's evaluation is a (design x benchmark) grid; these helpers run
 it with a *shared trace per benchmark* (so every design sees the
 identical reference stream, like the paper's identical checkpoints) and
 return the per-cell :class:`~repro.sim.system.SystemResult` objects.
+
+Execution is delegated to :mod:`repro.analysis.runner`: pass
+``workers > 1`` to fan cells out over processes and ``cache`` (a
+directory path or :class:`~repro.analysis.runner.ResultCache`) to reuse
+previously simulated cells across calls and sessions.
 """
 
 from __future__ import annotations
@@ -12,9 +17,7 @@ import dataclasses
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.sim.processor import ProcessorConfig
-from repro.sim.system import SystemResult, run_system
-from repro.workloads.profiles import benchmark_names, get_profile
-from repro.workloads.synthetic import generate_trace
+from repro.sim.system import SystemResult
 
 #: The three designs of Figure 5 / Figure 6 / Table 9.
 MAIN_DESIGNS: Tuple[str, ...] = ("SNUCA2", "DNUCA", "TLC")
@@ -32,15 +35,22 @@ class ExperimentGrid:
     results: Dict[Tuple[str, str], SystemResult]  # (design, benchmark) -> result
 
     def result(self, design: str, benchmark: str) -> SystemResult:
-        return self.results[(design, benchmark)]
+        try:
+            return self.results[(design, benchmark)]
+        except KeyError:
+            raise KeyError(
+                f"no result for cell (design={design!r}, "
+                f"benchmark={benchmark!r}); this grid holds designs "
+                f"{list(self.designs)} and benchmarks "
+                f"{list(self.benchmarks)}") from None
 
     def normalized_execution_time(self, design: str, benchmark: str,
                                   baseline: str = "SNUCA2") -> float:
         """Execution time relative to ``baseline`` (Fig. 5 / Fig. 8)."""
-        base = self.results[(baseline, benchmark)].cycles
+        base = self.result(baseline, benchmark).cycles
         if base == 0:
             return 0.0
-        return self.results[(design, benchmark)].cycles / base
+        return self.result(design, benchmark).cycles / base
 
 
 def run_design_grid(designs: Sequence[str] = MAIN_DESIGNS,
@@ -48,29 +58,41 @@ def run_design_grid(designs: Sequence[str] = MAIN_DESIGNS,
                     n_refs: int = 30_000, seed: int = 7,
                     warmup_fraction: float = 0.3,
                     processor_config: Optional[ProcessorConfig] = None,
+                    workers: int = 1,
+                    cache=None,
                     ) -> ExperimentGrid:
-    """Run every design on every benchmark, one shared trace per benchmark."""
-    if benchmarks is None:
-        benchmarks = benchmark_names()
-    results: Dict[Tuple[str, str], SystemResult] = {}
-    for benchmark in benchmarks:
-        profile = get_profile(benchmark)
-        trace = generate_trace(profile.spec, n_refs, seed=seed)
-        for design in designs:
-            results[(design, benchmark)] = run_system(
-                design, benchmark, trace=trace,
-                warmup_fraction=warmup_fraction,
-                processor_config=processor_config,
-            )
-    return ExperimentGrid(tuple(designs), tuple(benchmarks), results)
+    """Run every design on every benchmark, one shared trace per benchmark.
+
+    ``workers`` and ``cache`` are forwarded to
+    :func:`repro.analysis.runner.run_grid`; the default (serial,
+    uncached) path is cell-for-cell identical to both.
+    """
+    from repro.analysis.runner import run_grid
+
+    return run_grid(designs=designs, benchmarks=benchmarks, n_refs=n_refs,
+                    seed=seed, warmup_fraction=warmup_fraction,
+                    processor_config=processor_config,
+                    workers=workers, cache=cache)
 
 
 def run_benchmark_suite(design: str, benchmarks: Optional[Sequence[str]] = None,
-                        n_refs: int = 30_000, seed: int = 7) -> Dict[str, SystemResult]:
-    """Run one design across the benchmark suite."""
-    if benchmarks is None:
-        benchmarks = benchmark_names()
-    return {
-        benchmark: run_system(design, benchmark, n_refs=n_refs, seed=seed)
-        for benchmark in benchmarks
-    }
+                        n_refs: int = 30_000, seed: int = 7,
+                        warmup_fraction: float = 0.3,
+                        processor_config: Optional[ProcessorConfig] = None,
+                        workers: int = 1,
+                        cache=None,
+                        ) -> Dict[str, SystemResult]:
+    """Run one design across the benchmark suite.
+
+    Accepts the same ``warmup_fraction`` / ``processor_config`` as
+    :func:`run_design_grid`, so a suite run is comparable cell-for-cell
+    with grid cells (and shares their cache entries).
+    """
+    from repro.analysis.runner import run_grid
+
+    grid = run_grid(designs=(design,), benchmarks=benchmarks, n_refs=n_refs,
+                    seed=seed, warmup_fraction=warmup_fraction,
+                    processor_config=processor_config,
+                    workers=workers, cache=cache)
+    return {benchmark: grid.result(design, benchmark)
+            for benchmark in grid.benchmarks}

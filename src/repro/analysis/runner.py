@@ -1,0 +1,285 @@
+"""Parallel experiment runner with a content-addressed result cache.
+
+The paper's whole evaluation (Figs. 5-8, Tables 6-9) is a
+(design x benchmark) grid whose cells are completely independent: every
+cell is determined by ``(design, benchmark trace spec, n_refs, seed,
+warmup_fraction, processor config, technology)`` and nothing else.  This
+module exploits that twice:
+
+* **parallelism** — cells fan out over a ``multiprocessing`` pool.
+  Workers receive only a small picklable :class:`CellSpec` and regenerate
+  the trace locally from ``(spec, n_refs, seed)`` (generation is
+  deterministic and vectorized), so no multi-megabyte trace is ever
+  pickled across the process boundary.  ``workers=1`` — or any failure
+  to stand up a pool (sandboxes without semaphores, restricted
+  platforms) — falls back to the serial path, which produces
+  byte-identical results.
+
+* **caching** — an on-disk :class:`ResultCache` keyed by the SHA-256 of
+  every simulation input plus a code-version stamp (a digest of the
+  ``repro`` package sources).  A warm cache answers a repeated cell
+  without simulating; editing any source file under ``repro`` changes
+  the stamp and invalidates every entry at once, so stale results can
+  never leak across code versions.  Values are the same JSON documents
+  :mod:`repro.analysis.storage` writes, one file per cell under
+  ``<cache_dir>/<key[:2]>/<key>.json``.
+
+:func:`run_grid` is the one entry point the grid/suite/sweep helpers in
+:mod:`repro.analysis.experiments` and :mod:`repro.analysis.sweeps` are
+layered on; :func:`execute_cells` is the lower-level list-in/list-out
+executor for irregular cell sets (the sweeps).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sim.processor import ProcessorConfig
+from repro.sim.system import SystemResult, run_system
+from repro.tech import TECH_45NM, Technology
+from repro.workloads.profiles import benchmark_names
+from repro.workloads.synthetic import TraceSpec, generate_trace
+
+#: Bump when the cache payload layout (not the simulated code) changes.
+CACHE_FORMAT_VERSION = 1
+
+_CODE_VERSION_STAMP: Optional[str] = None
+
+
+def code_version_stamp() -> str:
+    """SHA-256 digest of every ``.py`` source file in the ``repro`` package.
+
+    Part of every cache key: any edit to the simulator invalidates all
+    cached results, which is the only safe default for a research code
+    base that changes under the cache.  Computed once per process.
+    """
+    global _CODE_VERSION_STAMP
+    if _CODE_VERSION_STAMP is None:
+        import repro
+
+        package_root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(str(source.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(source.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION_STAMP = digest.hexdigest()
+    return _CODE_VERSION_STAMP
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """One grid cell: everything that determines a :class:`SystemResult`.
+
+    Small and picklable by construction — this is the only object
+    shipped to pool workers.  ``trace_spec=None`` means "the calibrated
+    profile named by ``benchmark``"; a non-``None`` spec supports the
+    sweeps' custom workloads.  ``memory_latency_cycles=None`` keeps the
+    design-point DRAM (300 cycles).
+    """
+
+    design: str
+    benchmark: str
+    n_refs: int
+    seed: int
+    warmup_fraction: float = 0.3
+    processor_config: Optional[ProcessorConfig] = None
+    tech: Technology = TECH_45NM
+    trace_spec: Optional[TraceSpec] = None
+    memory_latency_cycles: Optional[int] = None
+
+    def key_fields(self) -> dict:
+        """The canonical, JSON-able dictionary the cache key hashes."""
+        processor = self.processor_config or ProcessorConfig()
+        return {
+            "design": self.design,
+            "benchmark": self.benchmark,
+            "n_refs": self.n_refs,
+            "seed": self.seed,
+            "warmup_fraction": self.warmup_fraction,
+            "processor_config": dataclasses.asdict(processor),
+            "tech": self.tech.name,
+            "trace_spec": (None if self.trace_spec is None
+                           else dataclasses.asdict(self.trace_spec)),
+            "memory_latency_cycles": self.memory_latency_cycles,
+        }
+
+
+def cache_key(cell: CellSpec) -> str:
+    """Content hash of one cell: SHA-256 over inputs + code version."""
+    payload = dict(cell.key_fields(),
+                   code_version=code_version_stamp(),
+                   cache_format=CACHE_FORMAT_VERSION)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def run_cell(cell: CellSpec) -> SystemResult:
+    """Simulate one cell from scratch (no cache).  Pool worker entry."""
+    from repro.sim.memory import MainMemory
+
+    memory = (None if cell.memory_latency_cycles is None
+              else MainMemory(latency_cycles=cell.memory_latency_cycles))
+    if cell.trace_spec is not None:
+        trace = generate_trace(cell.trace_spec, cell.n_refs, seed=cell.seed)
+        return run_system(cell.design, cell.benchmark, trace=trace,
+                          warmup_fraction=cell.warmup_fraction,
+                          prewarm_spec=cell.trace_spec,
+                          processor_config=cell.processor_config,
+                          tech=cell.tech, memory=memory)
+    return run_system(cell.design, cell.benchmark, n_refs=cell.n_refs,
+                      seed=cell.seed, warmup_fraction=cell.warmup_fraction,
+                      processor_config=cell.processor_config,
+                      tech=cell.tech, memory=memory)
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of :class:`SystemResult` cells.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is
+    :func:`cache_key`.  Each file carries the key fields it was computed
+    from (for auditing with plain ``jq``/``grep``) and the result in the
+    :func:`repro.analysis.storage.result_to_dict` encoding.  Writes are
+    atomic (temp file + ``os.replace``) so concurrent workers or
+    overlapping pytest sessions can share one cache directory safely;
+    corrupt or unreadable entries are treated as misses and rewritten.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SystemResult]:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        from repro.analysis.storage import result_from_dict
+
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, cell: CellSpec, result: SystemResult) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        from repro.analysis.storage import result_to_dict
+
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "code_version": code_version_stamp(),
+            "cell": cell.key_fields(),
+            "result": result_to_dict(result),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        os.replace(tmp, path)
+        self.stores += 1
+
+
+def as_cache(cache: Union[ResultCache, str, os.PathLike, None],
+             ) -> Optional[ResultCache]:
+    """Coerce a cache argument (directory path or ResultCache) to a cache."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _run_pool(cells: Sequence[CellSpec], workers: int) -> Optional[List[SystemResult]]:
+    """Map :func:`run_cell` over ``cells`` with a process pool.
+
+    Returns ``None`` when no pool can be stood up (missing semaphore
+    support, fork restrictions) so the caller falls back to serial.
+    """
+    import multiprocessing
+
+    try:
+        with multiprocessing.get_context().Pool(min(workers, len(cells))) as pool:
+            return pool.map(run_cell, cells, chunksize=1)
+    except (ImportError, OSError, PermissionError):
+        return None
+
+
+def execute_cells(cells: Sequence[CellSpec], workers: int = 1,
+                  cache: Union[ResultCache, str, os.PathLike, None] = None,
+                  ) -> List[SystemResult]:
+    """Run every cell, in order, answering from ``cache`` where possible.
+
+    Cache misses fan out over ``workers`` processes when ``workers > 1``
+    (serial when ``workers=1`` or the pool is unavailable) and are
+    written back to the cache.  The returned list is parallel to
+    ``cells`` regardless of execution order, and parallel execution is
+    bit-identical to serial: each cell is a deterministic function of
+    its spec alone.
+    """
+    cache = as_cache(cache)
+    results: List[Optional[SystemResult]] = [None] * len(cells)
+    pending: List[Tuple[int, CellSpec, str]] = []
+    for index, cell in enumerate(cells):
+        key = cache_key(cell) if cache is not None else ""
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+        else:
+            pending.append((index, cell, key))
+
+    if pending:
+        todo = [cell for _, cell, _ in pending]
+        computed: Optional[List[SystemResult]] = None
+        if workers > 1 and len(todo) > 1:
+            computed = _run_pool(todo, workers)
+        if computed is None:
+            computed = [run_cell(cell) for cell in todo]
+        for (index, cell, key), result in zip(pending, computed):
+            results[index] = result
+            if cache is not None:
+                cache.put(key, cell, result)
+    return results  # type: ignore[return-value]
+
+
+def run_grid(designs: Sequence[str],
+             benchmarks: Optional[Sequence[str]] = None,
+             n_refs: int = 30_000, seed: int = 7,
+             warmup_fraction: float = 0.3,
+             processor_config: Optional[ProcessorConfig] = None,
+             tech: Technology = TECH_45NM,
+             workers: int = 1,
+             cache: Union[ResultCache, str, os.PathLike, None] = None):
+    """Run a full (design x benchmark) grid through the runner.
+
+    Returns an :class:`~repro.analysis.experiments.ExperimentGrid`.
+    Every design sees the identical per-benchmark reference stream (the
+    trace is a pure function of ``(profile spec, n_refs, seed)``), so
+    this matches the legacy serial grid cell-for-cell.
+    """
+    from repro.analysis.experiments import ExperimentGrid
+
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    cells = [CellSpec(design=design, benchmark=benchmark, n_refs=n_refs,
+                      seed=seed, warmup_fraction=warmup_fraction,
+                      processor_config=processor_config, tech=tech)
+             for benchmark in benchmarks for design in designs]
+    results = execute_cells(cells, workers=workers, cache=cache)
+    cell_results: Dict[Tuple[str, str], SystemResult] = {
+        (cell.design, cell.benchmark): result
+        for cell, result in zip(cells, results)
+    }
+    return ExperimentGrid(tuple(designs), tuple(benchmarks), cell_results)

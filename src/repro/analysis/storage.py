@@ -59,12 +59,44 @@ def load_grid(path: str) -> ExperimentGrid:
     if version != FORMAT_VERSION:
         raise ValueError(
             f"unsupported grid format {version!r} (expected {FORMAT_VERSION})")
+    designs = tuple(document["designs"])
+    benchmarks = tuple(document["benchmarks"])
     results: Dict[Tuple[str, str], SystemResult] = {}
     for cell in document["cells"]:
         results[(cell["design"], cell["benchmark"])] = result_from_dict(
             cell["result"])
+    _validate_coverage(path, designs, benchmarks, results)
     return ExperimentGrid(
-        designs=tuple(document["designs"]),
-        benchmarks=tuple(document["benchmarks"]),
+        designs=designs,
+        benchmarks=benchmarks,
         results=results,
     )
+
+
+def _validate_coverage(path: str, designs: Tuple[str, ...],
+                       benchmarks: Tuple[str, ...],
+                       results: Dict[Tuple[str, str], SystemResult]) -> None:
+    """Reject documents whose cells don't cover ``designs x benchmarks``.
+
+    A truncated or hand-edited grid would otherwise load fine and only
+    explode deep inside an analysis; fail here with the exact cells that
+    are missing or unexpected.
+    """
+    expected = {(design, benchmark)
+                for design in designs for benchmark in benchmarks}
+    missing = sorted(expected - set(results))
+    extra = sorted(set(results) - expected)
+    if not missing and not extra:
+        return
+    problems = []
+    if missing:
+        problems.append(
+            f"{len(missing)} missing cell(s) (first few: {missing[:5]})")
+    if extra:
+        problems.append(
+            f"{len(extra)} cell(s) outside the declared grid "
+            f"(first few: {extra[:5]})")
+    raise ValueError(
+        f"grid document {path!r} does not cover its declared "
+        f"{len(designs)} designs x {len(benchmarks)} benchmarks: "
+        + "; ".join(problems))

@@ -13,6 +13,11 @@ parameters a skeptical reader would poke at:
 * :func:`dependence_sweep` — how workload dependence (pointer chasing)
   moves each design's exposed latency; the knob behind mcf vs swim.
 
+The simulating sweeps (memory latency, dependence) route their cells
+through :mod:`repro.analysis.runner`, so they accept the same
+``workers`` / ``cache`` knobs as the grid helpers; the frequency sweep
+is purely analytic (no simulation) and runs inline.
+
 Each sweep returns plain lists of (parameter, metric) pairs so callers
 can table or chart them.
 """
@@ -23,44 +28,33 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.area.cacti import bank_access_time_cycles
 from repro.sim.processor import ProcessorConfig
-from repro.sim.system import run_system
 from repro.tech import Technology
 from repro.tline.signaling import evaluate_link
-from repro.workloads.profiles import get_profile
-from repro.workloads.synthetic import TraceSpec, generate_trace
+from repro.workloads.synthetic import TraceSpec
 
 
 def memory_latency_sweep(benchmark: str = "gcc",
                          latencies: Sequence[int] = (150, 300, 600),
                          designs: Sequence[str] = ("SNUCA2", "TLC"),
                          n_refs: int = 10_000,
-                         seed: int = 7) -> List[Tuple[int, Dict[str, float]]]:
+                         seed: int = 7,
+                         workers: int = 1,
+                         cache=None) -> List[Tuple[int, Dict[str, float]]]:
     """Execution cycles per design at several DRAM latencies.
 
     Returns ``[(latency, {design: cycles}), ...]``.
     """
-    from repro.sim.memory import MainMemory
-    from repro.sim.system import System
-    from repro.workloads.synthetic import resident_block_addresses
+    from repro.analysis.runner import CellSpec, execute_cells
 
-    profile = get_profile(benchmark)
-    trace = generate_trace(profile.spec, n_refs, seed=seed)
-    resident = resident_block_addresses(profile.spec)
-    results = []
-    for latency in latencies:
-        row: Dict[str, float] = {}
-        for design in designs:
-            system = System(design,
-                            memory=MainMemory(latency_cycles=latency))
-            ordered = (resident if system.l2.install_order == "popular_last"
-                       else reversed(resident))
-            for addr in ordered:
-                system.l2.install(addr)
-            result = system.run(trace, benchmark,
-                                warmup_refs=int(len(trace) * 0.3))
-            row[design] = result.cycles
-        results.append((latency, row))
-    return results
+    cells = [CellSpec(design=design, benchmark=benchmark, n_refs=n_refs,
+                      seed=seed, memory_latency_cycles=latency)
+             for latency in latencies for design in designs]
+    results = execute_cells(cells, workers=workers, cache=cache)
+    by_cell = {(cell.memory_latency_cycles, cell.design): result
+               for cell, result in zip(cells, results)}
+    return [(latency, {design: by_cell[(latency, design)].cycles
+                       for design in designs})
+            for latency in latencies]
 
 
 def frequency_sweep(frequencies_ghz: Sequence[float] = (5.0, 10.0, 20.0),
@@ -83,23 +77,28 @@ def frequency_sweep(frequencies_ghz: Sequence[float] = (5.0, 10.0, 20.0),
 def dependence_sweep(fractions: Sequence[float] = (0.0, 0.3, 0.6, 0.9),
                      designs: Sequence[str] = ("SNUCA2", "TLC"),
                      n_refs: int = 8_000, seed: int = 7,
-                     processor_config: Optional[ProcessorConfig] = None):
+                     processor_config: Optional[ProcessorConfig] = None,
+                     workers: int = 1,
+                     cache=None):
     """Design sensitivity to workload dependence chains.
 
     Returns ``[(fraction, {design: cycles}), ...]``; the gap between
     designs should widen as dependence rises (nothing hides L2 latency
     in a pointer chase).
     """
-    results = []
-    for fraction in fractions:
-        spec = TraceSpec(mean_gap=12.0, hot_blocks=100_000, hot_skew=1.5,
-                         dependent_fraction=fraction, write_fraction=0.25)
-        trace = generate_trace(spec, n_refs, seed=seed)
-        row: Dict[str, float] = {}
-        for design in designs:
-            result = run_system(design, f"dep-{fraction}", trace=trace,
-                                prewarm_spec=spec,
-                                processor_config=processor_config)
-            row[design] = result.cycles
-        results.append((fraction, row))
-    return results
+    from repro.analysis.runner import CellSpec, execute_cells
+
+    specs = {fraction: TraceSpec(mean_gap=12.0, hot_blocks=100_000,
+                                 hot_skew=1.5, dependent_fraction=fraction,
+                                 write_fraction=0.25)
+             for fraction in fractions}
+    cells = [CellSpec(design=design, benchmark=f"dep-{fraction}",
+                      n_refs=n_refs, seed=seed, trace_spec=specs[fraction],
+                      processor_config=processor_config)
+             for fraction in fractions for design in designs]
+    results = execute_cells(cells, workers=workers, cache=cache)
+    by_cell = {(cell.benchmark, cell.design): result
+               for cell, result in zip(cells, results)}
+    return [(fraction, {design: by_cell[(f"dep-{fraction}", design)].cycles
+                        for design in designs})
+            for fraction in fractions]

@@ -146,6 +146,15 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _grid_cache(args):
+    """A ResultCache for --cache-dir, or None when caching is off."""
+    if not getattr(args, "cache_dir", None):
+        return None
+    from repro.analysis.runner import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
 def _cmd_grid(args) -> int:
     from repro.analysis.experiments import run_design_grid
     from repro.analysis.storage import load_grid, save_grid
@@ -154,9 +163,14 @@ def _cmd_grid(args) -> int:
         grid = load_grid(args.load)
         print(f"loaded grid from {args.load}")
     else:
+        cache = _grid_cache(args)
         grid = run_design_grid(designs=args.designs or ("SNUCA2", "DNUCA", "TLC"),
                                benchmarks=args.benchmarks or None,
-                               n_refs=args.refs, seed=args.seed)
+                               n_refs=args.refs, seed=args.seed,
+                               workers=args.workers, cache=cache)
+        if cache is not None:
+            print(f"cache: {cache.hits} hit(s), {cache.stores} cell(s) "
+                  f"simulated and stored under {args.cache_dir}")
     if args.save:
         save_grid(args.save, grid)
         print(f"grid saved to {args.save}")
@@ -174,9 +188,21 @@ def _cmd_grid(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    from repro.analysis.experiments import (
+        MAIN_DESIGNS,
+        TLC_FAMILY,
+        run_design_grid,
+    )
     from repro.analysis.report import build_report
 
-    text = build_report(n_refs=args.refs)
+    cache = _grid_cache(args)
+    main_grid = run_design_grid(designs=MAIN_DESIGNS, n_refs=args.refs,
+                                workers=args.workers, cache=cache)
+    family_grid = run_design_grid(designs=("SNUCA2",) + TLC_FAMILY,
+                                  n_refs=args.refs,
+                                  workers=args.workers, cache=cache)
+    text = build_report(main_grid=main_grid, family_grid=family_grid,
+                        n_refs=args.refs)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -231,11 +257,23 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--seed", type=int, default=7)
     grid.add_argument("--save", help="write the grid to this JSON path")
     grid.add_argument("--load", help="load a grid instead of running")
+    grid.add_argument("--workers", type=int, default=1,
+                      help="worker processes for grid cells (1 = serial)")
+    grid.add_argument("--cache-dir",
+                      help="content-addressed result cache directory; "
+                           "cells already simulated (by any command "
+                           "sharing the directory) are reused")
     grid.set_defaults(func=_cmd_grid)
 
     report = sub.add_parser("report", help="full measured-vs-paper report")
     report.add_argument("--refs", type=int, default=20_000)
     report.add_argument("--out", help="write markdown to this path")
+    report.add_argument("--workers", type=int, default=1,
+                        help="worker processes for grid cells (1 = serial)")
+    report.add_argument("--cache-dir",
+                        help="content-addressed result cache directory "
+                             "(the report's two grids share 24 cells, so "
+                             "a cache pays off within one run)")
     report.set_defaults(func=_cmd_report)
 
     return parser

@@ -68,16 +68,10 @@ class FullSystem:
         Returns the number of blocks installed.  The L1 is left cold (it
         warms in a few thousand references anyway).
         """
+        from repro.sim.system import prewarm_l2
         from repro.workloads.synthetic import resident_block_addresses
 
-        addresses = resident_block_addresses(l2_spec)
-        ordered = (addresses if self.l2.install_order == "popular_last"
-                   else reversed(addresses))
-        count = 0
-        for addr in ordered:
-            self.l2.install(addr)
-            count += 1
-        return count
+        return prewarm_l2(self.l2, resident_block_addresses(l2_spec))
 
     def run(self, trace: Iterable[Reference]) -> FullSystemResult:
         """Replay a CPU-level trace through L1 and L2."""

@@ -58,6 +58,24 @@ class SystemResult:
         return 1000.0 * self.l2_misses / self.instructions
 
 
+def prewarm_l2(l2, resident: Sequence[int]) -> int:
+    """Install a resident block population into ``l2``, returning the count.
+
+    ``resident`` is least-popular-first (the order
+    :func:`~repro.workloads.synthetic.resident_block_addresses` yields);
+    designs declare via ``install_order`` whether popular blocks should
+    be installed last (SNUCA/TLC: most-recent wins placement) or first
+    (DNUCA: first installs land in the closest banks).
+    """
+    ordered = (resident if l2.install_order == "popular_last"
+               else reversed(resident))
+    count = 0
+    for addr in ordered:
+        l2.install(addr)
+        count += 1
+    return count
+
+
 class System:
     """A processor + L2 design + memory, ready to replay traces."""
 
@@ -98,6 +116,7 @@ def run_system(design_name: str, benchmark: str, n_refs: int = 50_000,
                tech: Technology = TECH_45NM,
                trace: Optional[List[Reference]] = None,
                prewarm_spec=None,
+               memory: Optional[MainMemory] = None,
                **design_overrides) -> SystemResult:
     """Run ``benchmark`` on ``design_name`` and collect all metrics.
 
@@ -110,6 +129,9 @@ def run_system(design_name: str, benchmark: str, n_refs: int = 50_000,
     from the named profile when one exists, or from ``prewarm_spec``
     (the :class:`~repro.workloads.synthetic.TraceSpec` the custom trace
     was generated from).  A custom trace without a spec starts cold.
+
+    ``memory`` substitutes a non-default :class:`MainMemory` (e.g. the
+    latency sweeps' slower/faster DRAM).
     """
     prewarm: Optional[List[int]] = None
     if trace is None:
@@ -121,12 +143,10 @@ def run_system(design_name: str, benchmark: str, n_refs: int = 50_000,
     elif benchmark in {name for name in _known_benchmarks()}:
         prewarm = resident_block_addresses(get_profile(benchmark).spec)
     warmup_refs = int(len(trace) * warmup_fraction)
-    system = System(design_name, processor_config, tech, **design_overrides)
+    system = System(design_name, processor_config, tech, memory=memory,
+                    **design_overrides)
     if prewarm is not None:
-        # resident_block_addresses yields least-popular-first.
-        ordered = prewarm if system.l2.install_order == "popular_last" else reversed(prewarm)
-        for addr in ordered:
-            system.l2.install(addr)
+        prewarm_l2(system.l2, prewarm)
     return system.run(trace, benchmark=benchmark, warmup_refs=warmup_refs)
 
 

@@ -45,12 +45,52 @@ class TestGridRunner:
         assert MAIN_DESIGNS == ("SNUCA2", "DNUCA", "TLC")
         assert TLC_FAMILY[0] == "TLC" and len(TLC_FAMILY) == 4
 
+    def test_missing_cell_names_cell_and_choices(self, grid):
+        with pytest.raises(KeyError) as excinfo:
+            grid.result("DNUCA", "perl")
+        message = str(excinfo.value)
+        assert "DNUCA" in message and "perl" in message
+        assert "SNUCA2" in message and "bzip" in message
+
+    def test_misspelled_benchmark_in_normalization(self, grid):
+        with pytest.raises(KeyError, match="prl"):
+            grid.normalized_execution_time("TLC", "prl")
+
+    def test_missing_baseline_named(self, grid):
+        with pytest.raises(KeyError, match="nope"):
+            grid.normalized_execution_time("TLC", "perl", baseline="nope")
+
 
 class TestBenchmarkSuite:
     def test_runs_named_subset(self):
         results = run_benchmark_suite("TLC", benchmarks=("perl",), n_refs=2_000)
         assert set(results) == {"perl"}
         assert results["perl"].design == "TLC"
+
+    def test_warmup_fraction_threaded_through(self):
+        """The suite must accept grid parameters (it used to drop them)."""
+        cold = run_benchmark_suite("TLC", benchmarks=("perl",), n_refs=2_000,
+                                   warmup_fraction=0.0)
+        warm = run_benchmark_suite("TLC", benchmarks=("perl",), n_refs=2_000,
+                                   warmup_fraction=0.5)
+        assert cold["perl"].l2_requests > warm["perl"].l2_requests
+
+    def test_processor_config_threaded_through(self):
+        from repro.sim.processor import ProcessorConfig
+
+        narrow = run_benchmark_suite(
+            "TLC", benchmarks=("perl",), n_refs=2_000,
+            processor_config=ProcessorConfig(issue_width=1, mshrs=1))
+        wide = run_benchmark_suite("TLC", benchmarks=("perl",), n_refs=2_000)
+        assert narrow["perl"].cycles > wide["perl"].cycles
+
+    def test_suite_cell_matches_grid_cell(self):
+        """Suite runs are comparable cell-for-cell with grid cells."""
+        grid = run_design_grid(designs=("TLC",), benchmarks=("perl",),
+                               n_refs=2_000, warmup_fraction=0.4)
+        suite = run_benchmark_suite("TLC", benchmarks=("perl",), n_refs=2_000,
+                                    warmup_fraction=0.4)
+        assert suite["perl"] == grid.result("TLC", "perl")
 
 
 class TestPaperReferenceData:

@@ -1,0 +1,176 @@
+"""Tests for the parallel runner and its content-addressed result cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis.experiments import run_design_grid
+from repro.analysis.runner import (
+    CellSpec,
+    ResultCache,
+    cache_key,
+    code_version_stamp,
+    execute_cells,
+    run_cell,
+    run_grid,
+)
+from repro.analysis.storage import result_to_dict
+from repro.sim.processor import ProcessorConfig
+from repro.tech import Technology
+from repro.workloads.synthetic import TraceSpec
+
+DESIGNS = ("SNUCA2", "TLC")
+BENCHMARKS = ("perl", "bzip")
+N_REFS = 2_000
+
+
+def grid_payload(grid) -> str:
+    """A canonical byte string of every cell, for exact comparisons."""
+    return json.dumps(
+        {f"{d}/{b}": result_to_dict(r) for (d, b), r in sorted(grid.results.items())},
+        sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_grid():
+    return run_design_grid(designs=DESIGNS, benchmarks=BENCHMARKS,
+                           n_refs=N_REFS, workers=1)
+
+
+class TestParallelMatchesSerial:
+    def test_parallel_grid_byte_identical(self, serial_grid):
+        parallel = run_design_grid(designs=DESIGNS, benchmarks=BENCHMARKS,
+                                   n_refs=N_REFS, workers=2)
+        assert grid_payload(parallel) == grid_payload(serial_grid)
+
+    def test_matches_legacy_shared_trace_semantics(self, serial_grid):
+        """Regenerating the trace per cell equals sharing one trace."""
+        from repro.sim.system import run_system
+
+        legacy = run_system("TLC", "perl", n_refs=N_REFS, seed=7)
+        assert legacy == serial_grid.result("TLC", "perl")
+
+    def test_parallel_suite_matches_serial(self):
+        from repro.analysis.experiments import run_benchmark_suite
+
+        serial = run_benchmark_suite("TLC", benchmarks=BENCHMARKS,
+                                     n_refs=N_REFS, workers=1)
+        parallel = run_benchmark_suite("TLC", benchmarks=BENCHMARKS,
+                                       n_refs=N_REFS, workers=2)
+        assert serial == parallel
+
+
+class TestResultCache:
+    def test_cold_run_stores_every_cell(self, tmp_path, serial_grid):
+        cache = ResultCache(tmp_path)
+        grid = run_design_grid(designs=DESIGNS, benchmarks=BENCHMARKS,
+                               n_refs=N_REFS, cache=cache)
+        assert cache.stores == len(DESIGNS) * len(BENCHMARKS)
+        assert cache.hits == 0
+        assert grid_payload(grid) == grid_payload(serial_grid)
+
+    def test_warm_run_simulates_nothing(self, tmp_path, serial_grid):
+        cache = ResultCache(tmp_path)
+        run_design_grid(designs=DESIGNS, benchmarks=BENCHMARKS,
+                        n_refs=N_REFS, cache=cache)
+        warm = ResultCache(tmp_path)
+        grid = run_design_grid(designs=DESIGNS, benchmarks=BENCHMARKS,
+                               n_refs=N_REFS, cache=warm)
+        assert warm.hits == len(DESIGNS) * len(BENCHMARKS)
+        assert warm.stores == 0
+        assert grid_payload(grid) == grid_payload(serial_grid)
+
+    def test_cache_hit_returns_identical_result(self, tmp_path):
+        cell = CellSpec(design="TLC", benchmark="perl", n_refs=N_REFS, seed=7)
+        cache = ResultCache(tmp_path)
+        first = execute_cells([cell], cache=cache)[0]
+        second = execute_cells([cell], cache=ResultCache(tmp_path))[0]
+        assert first == second
+
+    def test_overlapping_grids_share_cells(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_grid(designs=("SNUCA2", "TLC"), benchmarks=("perl",),
+                 n_refs=N_REFS, cache=cache)
+        run_grid(designs=("SNUCA2", "TLC", "DNUCA"), benchmarks=("perl",),
+                 n_refs=N_REFS, cache=cache)
+        assert cache.hits == 2      # SNUCA2 and TLC reused
+        assert cache.stores == 3    # plus DNUCA simulated once
+
+    def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path):
+        cell = CellSpec(design="TLC", benchmark="perl", n_refs=N_REFS, seed=7)
+        cache = ResultCache(tmp_path)
+        result = execute_cells([cell], cache=cache)[0]
+        path = cache.path_for(cache_key(cell))
+        path.write_text("{ not json")
+        healed = ResultCache(tmp_path)
+        assert execute_cells([cell], cache=healed)[0] == result
+        assert healed.hits == 0 and healed.stores == 1
+        assert json.loads(path.read_text())["result"]["design"] == "TLC"
+
+    def test_cache_accepts_plain_directory_path(self, tmp_path):
+        run_grid(designs=("TLC",), benchmarks=("perl",), n_refs=N_REFS,
+                 cache=str(tmp_path))
+        assert list(tmp_path.rglob("*.json"))
+
+
+class TestCacheKey:
+    BASE = CellSpec(design="TLC", benchmark="perl", n_refs=N_REFS, seed=7)
+
+    def test_key_is_stable(self):
+        assert cache_key(self.BASE) == cache_key(
+            CellSpec(design="TLC", benchmark="perl", n_refs=N_REFS, seed=7))
+
+    def test_default_processor_config_is_canonical(self):
+        explicit = dataclasses.replace(self.BASE,
+                                       processor_config=ProcessorConfig())
+        assert cache_key(explicit) == cache_key(self.BASE)
+
+    @pytest.mark.parametrize("change", [
+        {"design": "SNUCA2"},
+        {"benchmark": "bzip"},
+        {"n_refs": N_REFS + 1},
+        {"seed": 8},
+        {"warmup_fraction": 0.4},
+        {"processor_config": ProcessorConfig(issue_width=2)},
+        {"processor_config": ProcessorConfig(rob_entries=64)},
+        {"processor_config": ProcessorConfig(mshrs=4)},
+        {"processor_config": ProcessorConfig(l1_latency=2)},
+        {"tech": Technology(name="45nm-5GHz", frequency_hz=5e9)},
+        {"trace_spec": TraceSpec(mean_gap=10.0)},
+        {"memory_latency_cycles": 150},
+    ])
+    def test_any_field_change_changes_key(self, change):
+        assert cache_key(dataclasses.replace(self.BASE, **change)) \
+            != cache_key(self.BASE)
+
+    def test_key_includes_code_version(self, monkeypatch):
+        import repro.analysis.runner as runner_module
+
+        before = cache_key(self.BASE)
+        monkeypatch.setattr(runner_module, "_CODE_VERSION_STAMP", "0" * 64)
+        assert cache_key(self.BASE) != before
+
+    def test_code_version_stamp_is_hex_digest(self):
+        stamp = code_version_stamp()
+        assert len(stamp) == 64
+        int(stamp, 16)
+
+
+class TestRunCell:
+    def test_custom_trace_spec(self):
+        spec = TraceSpec(mean_gap=12.0, hot_blocks=50_000,
+                         dependent_fraction=0.5)
+        result = run_cell(CellSpec(design="TLC", benchmark="custom",
+                                   n_refs=N_REFS, seed=3, trace_spec=spec))
+        assert result.benchmark == "custom"
+        assert result.l2_requests > 0
+
+    def test_memory_latency_override_slows_execution(self):
+        fast = run_cell(CellSpec(design="SNUCA2", benchmark="gcc",
+                                 n_refs=N_REFS, seed=7,
+                                 memory_latency_cycles=100))
+        slow = run_cell(CellSpec(design="SNUCA2", benchmark="gcc",
+                                 n_refs=N_REFS, seed=7,
+                                 memory_latency_cycles=900))
+        assert slow.cycles > fast.cycles

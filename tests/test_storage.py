@@ -70,3 +70,45 @@ class TestGridPersistence:
         save_grid(str(path), small_grid)
         text = path.read_text()
         assert '"design": "TLC"' in text
+
+
+class TestCoverageValidation:
+    def _document(self, small_grid, tmp_path):
+        import json
+        path = tmp_path / "grid.json"
+        save_grid(str(path), small_grid)
+        return path, json.loads(path.read_text())
+
+    def test_truncated_cells_rejected(self, small_grid, tmp_path):
+        import json
+        path, document = self._document(small_grid, tmp_path)
+        del document["cells"][0]
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="missing cell"):
+            load_grid(str(path))
+
+    def test_missing_cell_is_named(self, small_grid, tmp_path):
+        import json
+        path, document = self._document(small_grid, tmp_path)
+        dropped = document["cells"].pop()
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError) as excinfo:
+            load_grid(str(path))
+        assert dropped["design"] in str(excinfo.value)
+        assert dropped["benchmark"] in str(excinfo.value)
+
+    def test_undeclared_cell_rejected(self, small_grid, tmp_path):
+        import copy
+        import json
+        path, document = self._document(small_grid, tmp_path)
+        stray = copy.deepcopy(document["cells"][0])
+        stray["benchmark"] = "mystery"
+        document["cells"].append(stray)
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="outside the declared grid"):
+            load_grid(str(path))
+
+    def test_complete_document_still_loads(self, small_grid, tmp_path):
+        path = tmp_path / "grid.json"
+        save_grid(str(path), small_grid)
+        assert load_grid(str(path)).results == small_grid.results

@@ -59,6 +59,24 @@ class TestFrequencySweep:
         assert line_cycles >= 2  # 25 ps cycle < 77 ps flight
 
 
+class TestSweepRunnerIntegration:
+    def test_memory_sweep_parallel_matches_serial(self):
+        kwargs = dict(benchmark="gcc", latencies=(150, 600),
+                      designs=("SNUCA2",), n_refs=2_000)
+        assert (memory_latency_sweep(workers=1, **kwargs)
+                == memory_latency_sweep(workers=2, **kwargs))
+
+    def test_dependence_sweep_cached_rerun_matches(self, tmp_path):
+        from repro.analysis.runner import ResultCache
+
+        kwargs = dict(fractions=(0.0, 0.8), designs=("TLC",), n_refs=2_000)
+        cold = dependence_sweep(cache=ResultCache(tmp_path), **kwargs)
+        warm_cache = ResultCache(tmp_path)
+        warm = dependence_sweep(cache=warm_cache, **kwargs)
+        assert warm == cold
+        assert warm_cache.hits == 2 and warm_cache.stores == 0
+
+
 class TestDependenceSweep:
     @pytest.fixture(scope="class")
     def sweep(self):
