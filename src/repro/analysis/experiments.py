@@ -33,6 +33,15 @@ class ExperimentGrid:
     designs: Tuple[str, ...]
     benchmarks: Tuple[str, ...]
     results: Dict[Tuple[str, str], SystemResult]  # (design, benchmark) -> result
+    #: per-cell execution provenance from the runner —
+    #: ``{"wall_time_s", "from_cache", "l2_hits", "l2_misses"}`` per
+    #: ``(design, benchmark)``.  Runtime-only and excluded from
+    #: equality: it describes how the grid was *obtained* (timings,
+    #: cache hits), not what was measured, so saved/loaded and
+    #: cached/recomputed grids still compare equal.  ``None`` for grids
+    #: loaded from disk or built by hand.
+    cell_meta: Optional[Dict[Tuple[str, str], dict]] = dataclasses.field(
+        default=None, compare=False)
 
     def result(self, design: str, benchmark: str) -> SystemResult:
         try:

@@ -36,9 +36,14 @@ import dataclasses
 import hashlib
 import json
 import os
+import time as _time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+# The code-version stamp moved to repro.obs.manifest (manifests carry it
+# too); re-exported here because cache keys embed it and callers import
+# it from this module.
+from repro.obs.manifest import code_version_stamp
 from repro.sim.processor import ProcessorConfig
 from repro.sim.system import SystemResult, run_system
 from repro.tech import TECH_45NM, Technology
@@ -47,30 +52,6 @@ from repro.workloads.synthetic import TraceSpec, generate_trace
 
 #: Bump when the cache payload layout (not the simulated code) changes.
 CACHE_FORMAT_VERSION = 1
-
-_CODE_VERSION_STAMP: Optional[str] = None
-
-
-def code_version_stamp() -> str:
-    """SHA-256 digest of every ``.py`` source file in the ``repro`` package.
-
-    Part of every cache key: any edit to the simulator invalidates all
-    cached results, which is the only safe default for a research code
-    base that changes under the cache.  Computed once per process.
-    """
-    global _CODE_VERSION_STAMP
-    if _CODE_VERSION_STAMP is None:
-        import repro
-
-        package_root = Path(repro.__file__).parent
-        digest = hashlib.sha256()
-        for source in sorted(package_root.rglob("*.py")):
-            digest.update(str(source.relative_to(package_root)).encode())
-            digest.update(b"\0")
-            digest.update(source.read_bytes())
-            digest.update(b"\0")
-        _CODE_VERSION_STAMP = digest.hexdigest()
-    return _CODE_VERSION_STAMP
 
 
 @dataclasses.dataclass(frozen=True)
@@ -139,6 +120,36 @@ def run_cell(cell: CellSpec) -> SystemResult:
                       tech=cell.tech, memory=memory)
 
 
+def run_cell_timed(cell: CellSpec) -> Tuple[SystemResult, float]:
+    """Simulate one cell, returning ``(result, wall seconds)``.
+
+    Pool worker entry for the detailed path: the wall time is measured
+    inside the worker, so it reflects simulation cost, not pool
+    scheduling or pickling.
+    """
+    started = _time.perf_counter()
+    result = run_cell(cell)
+    return result, _time.perf_counter() - started
+
+
+@dataclasses.dataclass(frozen=True)
+class CellOutcome:
+    """One executed cell plus its execution provenance.
+
+    ``wall_time_s`` is the wall-clock cost of answering the cell —
+    simulation time for a computed cell, cache-read time for a cached
+    one.  Provenance lives here and *not* in :class:`SystemResult` on
+    purpose: results stay byte-stable across serial/parallel/cached
+    execution (the saved-grid and cache formats hash and compare them),
+    while outcomes may differ per run.
+    """
+
+    cell: CellSpec
+    result: SystemResult
+    wall_time_s: float
+    from_cache: bool
+
+
 class ResultCache:
     """Content-addressed on-disk cache of :class:`SystemResult` cells.
 
@@ -202,8 +213,9 @@ def as_cache(cache: Union[ResultCache, str, os.PathLike, None],
     return ResultCache(cache)
 
 
-def _run_pool(cells: Sequence[CellSpec], workers: int) -> Optional[List[SystemResult]]:
-    """Map :func:`run_cell` over ``cells`` with a process pool.
+def _run_pool(cells: Sequence[CellSpec], workers: int,
+              ) -> Optional[List[Tuple[SystemResult, float]]]:
+    """Map :func:`run_cell_timed` over ``cells`` with a process pool.
 
     Returns ``None`` when no pool can be stood up (missing semaphore
     support, fork restrictions) so the caller falls back to serial.
@@ -212,14 +224,15 @@ def _run_pool(cells: Sequence[CellSpec], workers: int) -> Optional[List[SystemRe
 
     try:
         with multiprocessing.get_context().Pool(min(workers, len(cells))) as pool:
-            return pool.map(run_cell, cells, chunksize=1)
+            return pool.map(run_cell_timed, cells, chunksize=1)
     except (ImportError, OSError, PermissionError):
         return None
 
 
-def execute_cells(cells: Sequence[CellSpec], workers: int = 1,
-                  cache: Union[ResultCache, str, os.PathLike, None] = None,
-                  ) -> List[SystemResult]:
+def execute_cells_detailed(cells: Sequence[CellSpec], workers: int = 1,
+                           cache: Union[ResultCache, str, os.PathLike,
+                                        None] = None,
+                           ) -> List[CellOutcome]:
     """Run every cell, in order, answering from ``cache`` where possible.
 
     Cache misses fan out over ``workers`` processes when ``workers > 1``
@@ -227,31 +240,46 @@ def execute_cells(cells: Sequence[CellSpec], workers: int = 1,
     written back to the cache.  The returned list is parallel to
     ``cells`` regardless of execution order, and parallel execution is
     bit-identical to serial: each cell is a deterministic function of
-    its spec alone.
+    its spec alone.  Each :class:`CellOutcome` additionally records the
+    cell's wall time and whether the cache answered it.
     """
     cache = as_cache(cache)
-    results: List[Optional[SystemResult]] = [None] * len(cells)
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
     pending: List[Tuple[int, CellSpec, str]] = []
     for index, cell in enumerate(cells):
         key = cache_key(cell) if cache is not None else ""
+        started = _time.perf_counter()
         cached = cache.get(key) if cache is not None else None
         if cached is not None:
-            results[index] = cached
+            outcomes[index] = CellOutcome(
+                cell=cell, result=cached,
+                wall_time_s=_time.perf_counter() - started, from_cache=True)
         else:
             pending.append((index, cell, key))
 
     if pending:
         todo = [cell for _, cell, _ in pending]
-        computed: Optional[List[SystemResult]] = None
+        computed: Optional[List[Tuple[SystemResult, float]]] = None
         if workers > 1 and len(todo) > 1:
             computed = _run_pool(todo, workers)
         if computed is None:
-            computed = [run_cell(cell) for cell in todo]
-        for (index, cell, key), result in zip(pending, computed):
-            results[index] = result
+            computed = [run_cell_timed(cell) for cell in todo]
+        for (index, cell, key), (result, wall_time_s) in zip(pending, computed):
+            outcomes[index] = CellOutcome(cell=cell, result=result,
+                                          wall_time_s=wall_time_s,
+                                          from_cache=False)
             if cache is not None:
                 cache.put(key, cell, result)
-    return results  # type: ignore[return-value]
+    return outcomes  # type: ignore[return-value]
+
+
+def execute_cells(cells: Sequence[CellSpec], workers: int = 1,
+                  cache: Union[ResultCache, str, os.PathLike, None] = None,
+                  ) -> List[SystemResult]:
+    """Run every cell, in order; results only (see
+    :func:`execute_cells_detailed` for per-cell provenance)."""
+    return [outcome.result for outcome
+            in execute_cells_detailed(cells, workers=workers, cache=cache)]
 
 
 def run_grid(designs: Sequence[str],
@@ -277,9 +305,19 @@ def run_grid(designs: Sequence[str],
                       seed=seed, warmup_fraction=warmup_fraction,
                       processor_config=processor_config, tech=tech)
              for benchmark in benchmarks for design in designs]
-    results = execute_cells(cells, workers=workers, cache=cache)
+    outcomes = execute_cells_detailed(cells, workers=workers, cache=cache)
     cell_results: Dict[Tuple[str, str], SystemResult] = {
-        (cell.design, cell.benchmark): result
-        for cell, result in zip(cells, results)
+        (outcome.cell.design, outcome.cell.benchmark): outcome.result
+        for outcome in outcomes
     }
-    return ExperimentGrid(tuple(designs), tuple(benchmarks), cell_results)
+    cell_meta = {
+        (outcome.cell.design, outcome.cell.benchmark): {
+            "wall_time_s": outcome.wall_time_s,
+            "from_cache": outcome.from_cache,
+            "l2_hits": outcome.result.l2_hits,
+            "l2_misses": outcome.result.l2_misses,
+        }
+        for outcome in outcomes
+    }
+    return ExperimentGrid(tuple(designs), tuple(benchmarks), cell_results,
+                          cell_meta=cell_meta)

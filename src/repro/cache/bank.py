@@ -169,3 +169,14 @@ class CacheBank:
     @property
     def capacity_blocks(self) -> int:
         return self.num_sets * self.ways
+
+    def register_metrics(self, scope) -> None:
+        """Mount this bank's gauges on a registry scope.
+
+        ``scope`` is a :class:`~repro.obs.registry.ScopedRegistry` (or
+        a registry); the owning design picks the prefix, e.g.
+        ``l2.bank03``.  Occupancy is a gauge — evaluated only at
+        snapshot time — so registration costs nothing per access.
+        """
+        scope.gauge("occupancy", lambda: self.occupied_blocks)
+        scope.gauge("touched_sets", lambda: len(self._sets))

@@ -5,10 +5,16 @@ Subcommands:
 * ``designs`` — list the design registry (Table 2).
 * ``benchmarks`` — list the calibrated workload profiles.
 * ``line <length_cm>`` — extract + grade a transmission line.
-* ``run <design> <benchmark>`` — one experiment cell, full metrics.
+* ``run <design> <benchmark>`` — one experiment cell, full metrics;
+  ``--metrics-out`` / ``--trace-out`` capture a run manifest and an
+  event trace (docs/OBSERVABILITY.md).
+* ``stats <manifest> [other]`` — pretty-print one manifest or diff two.
 * ``compare <benchmark>`` — all designs on one benchmark, as a chart.
 * ``trace <benchmark>`` — generate and characterize a trace.
 * ``report`` — the full measured-vs-paper markdown report.
+
+Design names are forgiving: ``tlc_opt_500`` and ``TLCopt500`` both
+work (see :func:`repro.core.config.resolve_design_name`).
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from typing import List, Optional
 
 from repro.analysis.figures import grouped_bar_chart
 from repro.analysis.tables import format_table
-from repro.core.config import DESIGNS, design_names
+from repro.core.config import DESIGNS, design_names, resolve_design_name
 from repro.sim.system import run_system
 from repro.workloads.profiles import PROFILES, benchmark_names, get_profile
 from repro.workloads.synthetic import generate_trace
@@ -77,9 +83,50 @@ def _cmd_line(args) -> int:
     return 0 if report.usable else 2
 
 
+def _resolve_run_cell(args) -> Optional[tuple]:
+    """The (design, benchmark) a ``run`` invocation names, or ``None``.
+
+    Both may be given positionally or by flag; flags win.  Errors are
+    printed to stderr (returning ``None`` means exit 2).
+    """
+    design = args.design_opt or args.design
+    benchmark = args.benchmark_opt or args.benchmark
+    if design is None or benchmark is None:
+        print("error: a design and a benchmark are required, e.g. "
+              "`repro run TLC mcf` or "
+              "`repro run --design tlc_opt_500 --benchmark mcf`",
+              file=sys.stderr)
+        return None
+    try:
+        design = resolve_design_name(design)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+    if benchmark not in benchmark_names():
+        print(f"error: unknown benchmark {benchmark!r}; choose from "
+              f"{sorted(benchmark_names())}", file=sys.stderr)
+        return None
+    return design, benchmark
+
+
 def _cmd_run(args) -> int:
-    result = run_system(args.design, args.benchmark, n_refs=args.refs,
-                        seed=args.seed)
+    cell = _resolve_run_cell(args)
+    if cell is None:
+        return 2
+    design, benchmark = cell
+
+    observer = None
+    if args.metrics_out or args.trace_out:
+        from repro.obs import EventTracer, RunObserver
+
+        tracer = None
+        if args.trace_out:
+            types = frozenset(args.trace_types) if args.trace_types else None
+            tracer = EventTracer(capacity=args.trace_capacity, types=types)
+        observer = RunObserver(tracer=tracer)
+
+    result = run_system(design, benchmark, n_refs=args.refs,
+                        seed=args.seed, observer=observer)
     rows = [
         ["cycles", result.cycles],
         ["instructions", result.instructions],
@@ -94,8 +141,76 @@ def _cmd_run(args) -> int:
         ["network power", f"{result.network_power_w * 1000:.0f} mW"],
     ]
     print(format_table(["metric", "value"], rows,
-                       title=f"{args.design} on {args.benchmark} "
+                       title=f"{design} on {benchmark} "
                              f"({args.refs} refs, seed {args.seed})"))
+    if observer is not None:
+        if args.metrics_out:
+            from repro.obs import save_manifest
+
+            save_manifest(args.metrics_out, observer.manifest)
+            print(f"manifest written to {args.metrics_out}")
+        if args.trace_out:
+            written = observer.tracer.write_jsonl(args.trace_out)
+            summary = observer.tracer.summary()
+            note = ""
+            if summary["dropped"]:
+                note = f" ({summary['dropped']} older event(s) dropped)"
+            print(f"{written} trace event(s) written to "
+                  f"{args.trace_out}{note}")
+    return 0
+
+
+def _manifest_overview_rows(manifest) -> list:
+    """Provenance summary rows shared by the stats views."""
+    trace = manifest.trace or {}
+    return [
+        ["kind", manifest.kind],
+        ["design", manifest.design or "-"],
+        ["benchmark", manifest.benchmark or "-"],
+        ["seed", manifest.seed if manifest.seed is not None else "-"],
+        ["config digest", manifest.config_digest[:16] + "..."],
+        ["code version", manifest.code_version[:16] + "..."],
+        ["wall time", f"{manifest.wall_time_s:.2f} s"],
+        ["trace events", trace.get("events", "-")],
+    ]
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import diff_manifests, flatten, load_manifest
+
+    try:
+        manifest = load_manifest(args.manifest)
+        other = load_manifest(args.other) if args.other else None
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if other is not None:
+        rows = diff_manifests(manifest, other, skip_bins=not args.bins)
+        if not rows:
+            print("manifests are identical (ignoring wall time"
+                  + ("" if args.bins else " and histogram bins") + ")")
+            return 0
+        print(format_table(
+            ["field", "a", "b"],
+            [[name, va, vb] for name, va, vb in rows],
+            title=f"{len(rows)} difference(s): a={args.manifest} "
+                  f"b={args.other}"))
+        return 0
+
+    print(format_table(["field", "value"], _manifest_overview_rows(manifest),
+                       title=f"Run manifest: {args.manifest}"))
+    if manifest.result:
+        print()
+        print(format_table(
+            ["result field", "value"],
+            sorted(flatten(manifest.result).items()),
+            title="Headline result"))
+    print()
+    print(format_table(
+        ["metric", "value"],
+        sorted(flatten(manifest.metrics, skip_bins=not args.bins).items()),
+        title="Metrics snapshot"))
     return 0
 
 
@@ -187,7 +302,31 @@ def _cmd_grid(args) -> int:
     return 0
 
 
+def _grid_manifest_section(grid) -> dict:
+    """One grid rendered as a nested metrics document for a manifest.
+
+    ``<design>.<benchmark>`` carries the cell's headline numbers plus
+    the runner's execution provenance (wall time, cache hit).
+    """
+    section = {}
+    for (design, benchmark), result in sorted(grid.results.items()):
+        cell = {
+            "cycles": result.cycles,
+            "ipc": round(result.ipc, 6),
+            "l2_miss_ratio": round(result.miss_ratio, 6),
+            "mean_lookup_latency": round(result.mean_lookup_latency, 4),
+        }
+        if grid.cell_meta is not None:
+            meta = grid.cell_meta[(design, benchmark)]
+            cell["wall_time_s"] = round(meta["wall_time_s"], 4)
+            cell["from_cache"] = meta["from_cache"]
+        section.setdefault(design, {})[benchmark] = cell
+    return section
+
+
 def _cmd_report(args) -> int:
+    import time as _time
+
     from repro.analysis.experiments import (
         MAIN_DESIGNS,
         TLC_FAMILY,
@@ -195,6 +334,7 @@ def _cmd_report(args) -> int:
     )
     from repro.analysis.report import build_report
 
+    started = _time.perf_counter()
     cache = _grid_cache(args)
     main_grid = run_design_grid(designs=MAIN_DESIGNS, n_refs=args.refs,
                                 workers=args.workers, cache=cache)
@@ -209,6 +349,26 @@ def _cmd_report(args) -> int:
         print(f"report written to {args.out}")
     else:
         print(text)
+    if args.metrics_out:
+        from repro.obs import build_manifest, save_manifest
+
+        config = {
+            "n_refs": args.refs,
+            "main_designs": list(MAIN_DESIGNS),
+            "family_designs": ["SNUCA2"] + list(TLC_FAMILY),
+            "benchmarks": list(main_grid.benchmarks),
+            "workers": args.workers,
+            "cached": cache is not None,
+        }
+        manifest = build_manifest(
+            kind="report",
+            config=config,
+            metrics={"main": _grid_manifest_section(main_grid),
+                     "family": _grid_manifest_section(family_grid)},
+            wall_time_s=_time.perf_counter() - started,
+        )
+        save_manifest(args.metrics_out, manifest)
+        print(f"report manifest written to {args.metrics_out}")
     return 0
 
 
@@ -228,11 +388,41 @@ def build_parser() -> argparse.ArgumentParser:
     line.set_defaults(func=_cmd_line)
 
     run = sub.add_parser("run", help="run one design on one benchmark")
-    run.add_argument("design", choices=list(design_names()))
-    run.add_argument("benchmark", choices=list(benchmark_names()))
+    run.add_argument("design", nargs="?",
+                     help="design name (any case/separator spelling, "
+                          "e.g. TLC or tlc_opt_500)")
+    run.add_argument("benchmark", nargs="?",
+                     help="benchmark profile name (see `repro benchmarks`)")
+    run.add_argument("--design", dest="design_opt", metavar="DESIGN",
+                     help="design name (flag form of the positional)")
+    run.add_argument("--benchmark", dest="benchmark_opt", metavar="BENCH",
+                     help="benchmark name (flag form of the positional)")
     run.add_argument("--refs", type=int, default=20_000)
     run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--metrics-out", metavar="FILE",
+                     help="write the run manifest (config digest, code "
+                          "version, full metrics snapshot) as JSON")
+    run.add_argument("--trace-out", metavar="FILE",
+                     help="capture an event trace and write it as JSONL")
+    run.add_argument("--trace-types", nargs="+", metavar="TYPE",
+                     help="only trace these event types "
+                          "(e.g. l2.access run.warmup_end)")
+    run.add_argument("--trace-capacity", type=int, default=None,
+                     metavar="N",
+                     help="keep only the newest N events (ring buffer); "
+                          "default keeps every event")
     run.set_defaults(func=_cmd_run)
+
+    stats = sub.add_parser(
+        "stats", help="pretty-print a run manifest, or diff two")
+    stats.add_argument("manifest",
+                       help="manifest JSON from `run --metrics-out` or "
+                            "`report --metrics-out`")
+    stats.add_argument("other", nargs="?",
+                       help="second manifest: show differences instead")
+    stats.add_argument("--bins", action="store_true",
+                       help="include histogram bins (hidden by default)")
+    stats.set_defaults(func=_cmd_stats)
 
     compare = sub.add_parser("compare", help="all designs on one benchmark")
     compare.add_argument("benchmark", choices=list(benchmark_names()))
@@ -274,6 +464,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="content-addressed result cache directory "
                              "(the report's two grids share 24 cells, so "
                              "a cache pays off within one run)")
+    report.add_argument("--metrics-out", metavar="FILE",
+                        help="write a grid manifest (per-cell headline "
+                             "numbers, wall times, cache hits) as JSON")
     report.set_defaults(func=_cmd_report)
 
     return parser
@@ -282,7 +475,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # `repro stats m.json | head` closes stdout mid-table; point
+        # stdout at devnull so the interpreter's shutdown flush doesn't
+        # raise a second time, and exit quietly like other CLIs do.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

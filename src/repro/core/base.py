@@ -19,6 +19,14 @@ experiment harness can treat every design uniformly:
 * ``lookup_latencies``: Histogram feeding Fig. 6 (mean lookup latency)
   and Table 6's predictable-lookup percentage.
 * ``network_energy_j``: accumulated interconnect energy for Table 9.
+
+All of these live in a per-design
+:class:`~repro.obs.registry.MetricsRegistry` (``design.metrics``) under
+dotted names — ``l2.hits``, ``l2.lookup_latency``,
+``l2.bank03.occupancy``, ``memory.reads`` — plus whatever the concrete
+design mounts (TLC link bundles under ``link.*``, NUCA meshes under
+``mesh.*``).  ``design.metrics.snapshot()`` is the machine-readable
+record a :class:`~repro.obs.manifest.RunManifest` embeds.
 """
 
 from __future__ import annotations
@@ -27,8 +35,8 @@ import abc
 import dataclasses
 from typing import Optional
 
+from repro.obs.registry import MetricsRegistry
 from repro.sim.memory import MainMemory
-from repro.sim.stats import Counter, Histogram
 from repro.tech import Technology, TECH_45NM
 
 
@@ -64,8 +72,13 @@ class L2Design(abc.ABC):
                  tech: Technology = TECH_45NM) -> None:
         self.memory = memory if memory is not None else MainMemory()
         self.tech = tech
-        self.stats = Counter()
-        self.lookup_latencies = Histogram()
+        #: every measurement this design (and its components) exposes,
+        #: under dotted names; see repro.obs.registry.
+        self.metrics = MetricsRegistry()
+        self.stats = self.metrics.counter("l2")
+        self.lookup_latencies = self.metrics.histogram("l2.lookup_latency")
+        self.metrics.register("memory", self.memory.stats)
+        self.metrics.gauge("l2.network_energy_j", self.network_energy_j)
         self._network_energy_acc = 0.0
 
     # -- the design-specific part ----------------------------------------
@@ -91,12 +104,12 @@ class L2Design(abc.ABC):
         """Clear all measurement state (used at the warmup boundary).
 
         Functional cache contents and resource busy times are preserved;
-        only the statistics the evaluation reports are zeroed.
+        only the statistics the evaluation reports are zeroed.  Metrics
+        are cleared *in place* (via the registry), so the objects
+        registered at construction keep observing the live values.
         """
-        self.stats = Counter()
-        self.lookup_latencies = Histogram()
+        self.metrics.reset()
         self._network_energy_acc = 0.0
-        self.memory.stats = Counter()
         self._reset_stats_extra()
 
     def _reset_stats_extra(self) -> None:

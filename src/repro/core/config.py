@@ -216,13 +216,26 @@ def design_names() -> Tuple[str, ...]:
     return tuple(DESIGNS)
 
 
+def resolve_design_name(name: str) -> str:
+    """Map a user-spelled design name onto its registry key.
+
+    The registry uses the paper's spellings (``TLCopt500``), which are
+    awkward to type; this accepts any case/separator variation —
+    ``tlc_opt_500``, ``TLC-OPT-500``, ``snuca2`` — by comparing names
+    with underscores and dashes stripped, case-insensitively.
+    """
+    if name in DESIGNS:
+        return name
+    wanted = name.lower().replace("_", "").replace("-", "")
+    for key in DESIGNS:
+        if key.lower() == wanted:
+            return key
+    raise ValueError(
+        f"unknown design {name!r}; choose from {sorted(DESIGNS)}")
+
+
 def get_design(name: str) -> DesignConfig:
-    try:
-        return DESIGNS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown design {name!r}; choose from {sorted(DESIGNS)}"
-        ) from None
+    return DESIGNS[resolve_design_name(name)]
 
 
 def build_design(name: str, memory: Optional[MainMemory] = None,

@@ -115,3 +115,21 @@ class TLCController:
 
     def utilization(self, elapsed_cycles: int) -> float:
         return self.meter.utilization(elapsed_cycles)
+
+    # -- observability -----------------------------------------------------
+    def register_metrics(self, scope) -> None:
+        """Mount the shared meter and per-pair link gauges on a registry
+        scope (the designs use ``link``), yielding names like
+        ``link.util`` and ``link.pair02.req.bits_sent``."""
+        scope.register("util", self.meter)
+        for pair, (req, resp) in enumerate(
+                zip(self.request_links, self.response_links)):
+            req.register_metrics(scope.scope(f"pair{pair:02d}.req"))
+            resp.register_metrics(scope.scope(f"pair{pair:02d}.resp"))
+
+    def reset_counters(self) -> None:
+        """Zero traffic accounting in place, preserving link busy state
+        (the warmup-boundary reset the designs call)."""
+        self.meter.reset()
+        for link in self.request_links + self.response_links:
+            link.reset_counters()

@@ -52,6 +52,9 @@ class TransmissionLineCache(L2Design):
         ]
         self.controller = TLCController(config, tech)
         self._bank_busy_until = [0] * config.banks
+        self.controller.register_metrics(self.metrics.scope("link"))
+        for index, bank in enumerate(self.banks):
+            bank.register_metrics(self.metrics.scope(f"l2.bank{index:02d}"))
 
     # -- timing helpers ----------------------------------------------------
     def _bank_access(self, bank: int, ready: int, contend: bool = True) -> int:
@@ -176,7 +179,4 @@ class TransmissionLineCache(L2Design):
             bank.lookup(set_index, tag)
 
     def _reset_stats_extra(self) -> None:
-        self.controller.meter.busy_cycles = 0
-        for link in self.controller.request_links + self.controller.response_links:
-            link.bits_sent = 0
-            link.transfers = 0
+        self.controller.reset_counters()

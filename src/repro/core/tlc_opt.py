@@ -78,6 +78,9 @@ class OptimizedTLC(L2Design):
         self.controller = TLCController(config, tech)
         self._bank_busy_until = [0] * config.banks
         self._data_slice_bits = BLOCK_BITS // self.stripe_banks
+        self.controller.register_metrics(self.metrics.scope("link"))
+        for index, group in enumerate(self.groups):
+            group.register_metrics(self.metrics.scope(f"l2.group{index:02d}"))
 
     # -- stripe geometry -----------------------------------------------------
     def banks_for_group(self, group: int) -> Tuple[int, ...]:
@@ -238,7 +241,4 @@ class OptimizedTLC(L2Design):
             group.lookup(set_index, tag)
 
     def _reset_stats_extra(self) -> None:
-        self.controller.meter.busy_cycles = 0
-        for link in self.controller.request_links + self.controller.response_links:
-            link.bits_sent = 0
-            link.transfers = 0
+        self.controller.reset_counters()

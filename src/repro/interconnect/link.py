@@ -83,6 +83,18 @@ class Link:
             flits=flits,
         )
 
+    def register_metrics(self, scope) -> None:
+        """Mount this link's traffic gauges on a registry scope
+        (e.g. ``link.pair02.req``); see :mod:`repro.obs.registry`."""
+        scope.gauge("bits_sent", lambda: self.bits_sent)
+        scope.gauge("transfers", lambda: self.transfers)
+
+    def reset_counters(self) -> None:
+        """Zero traffic accounting, preserving busy (timing) state —
+        the warmup-boundary reset."""
+        self.bits_sent = 0
+        self.transfers = 0
+
     def reset(self) -> None:
         self.busy_until = 0
         self.bits_sent = 0

@@ -164,3 +164,25 @@ class MeshNetwork:
 
     def utilization(self, elapsed_cycles: int) -> float:
         return self.meter.utilization(elapsed_cycles)
+
+    def register_metrics(self, scope) -> None:
+        """Mount the mesh's meters/gauges on a registry scope (``mesh``).
+
+        Links are created lazily as traffic first touches them, so the
+        per-link population is summarized by aggregate gauges rather
+        than registered individually.
+        """
+        scope.register("util", self.meter)
+        scope.gauge("bit_hops", lambda: self.bit_hops)
+        scope.gauge("switch_traversals", lambda: self.switch_traversals)
+        scope.gauge("links_touched", lambda: len(self._links))
+        scope.gauge("links_total", self._count_links)
+
+    def reset_counters(self) -> None:
+        """Zero traffic accounting in place, preserving link busy state
+        (the warmup-boundary reset the designs call)."""
+        self.meter.reset()
+        self.bit_hops = 0
+        self.switch_traversals = 0
+        for link in self._links.values():
+            link.reset_counters()

@@ -88,6 +88,14 @@ class DynamicNUCA(L2Design):
         # Fast-path state for bulk pre-warming: per-(column, set) tags
         # installed so far, valid only until the first timed access.
         self._install_seen: Optional[dict] = {}
+        self.mesh.register_metrics(self.metrics.scope("mesh"))
+        # 256 banks: per-bank gauges would dominate every snapshot, so
+        # occupancy is exposed per bank set (mesh column) instead.
+        for column in range(self.banksets):
+            self.metrics.gauge(
+                f"l2.bankset{column:02d}.occupancy",
+                lambda banks=self.banks[column]: sum(
+                    bank.occupied_blocks for bank in banks))
 
     # -- functional helpers ------------------------------------------------
     def _find(self, column: int, set_index: int, tag: int) -> Optional[Tuple[int, int]]:
@@ -379,9 +387,7 @@ class DynamicNUCA(L2Design):
         return self.mesh.utilization(elapsed_cycles)
 
     def _reset_stats_extra(self) -> None:
-        self.mesh.meter.busy_cycles = 0
-        self.mesh.bit_hops = 0
-        self.mesh.switch_traversals = 0
+        self.mesh.reset_counters()
 
     def network_energy_j(self) -> float:
         wire = self.tech.conventional_energy_per_bit(self.mesh.hop_length_m)

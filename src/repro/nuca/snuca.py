@@ -46,6 +46,9 @@ class StaticNUCA(L2Design):
                                 config.mesh_flit_bits, config.mesh_hop_latency,
                                 config.mesh_hop_length_m)
         self._bank_busy_until = [0] * config.banks
+        self.mesh.register_metrics(self.metrics.scope("mesh"))
+        for index, bank in enumerate(self.banks):
+            bank.register_metrics(self.metrics.scope(f"l2.bank{index:02d}"))
 
     # -- geometry ------------------------------------------------------------
     def _grid(self, bank_idx: int):
@@ -148,9 +151,7 @@ class StaticNUCA(L2Design):
         return self.mesh.utilization(elapsed_cycles)
 
     def _reset_stats_extra(self) -> None:
-        self.mesh.meter.busy_cycles = 0
-        self.mesh.bit_hops = 0
-        self.mesh.switch_traversals = 0
+        self.mesh.reset_counters()
 
     def network_energy_j(self) -> float:
         wire = self.tech.conventional_energy_per_bit(self.mesh.hop_length_m)

@@ -1,0 +1,193 @@
+"""A hierarchical metrics registry over the stats primitives.
+
+Every component that measures something — a design's request counter, a
+link bundle's utilization meter, a bank's occupancy — registers it here
+under a dotted, lowercase name (``l2.bank03.occupancy``,
+``link.pair02.req.bits_sent``, ``mesh.util``).  The registry owns no
+semantics of its own: it holds the *same* :class:`~repro.sim.stats`
+objects the timing models mutate, so registration costs nothing on the
+access path and a snapshot always reflects the live values.
+
+Metric kinds
+------------
+
+* :class:`~repro.sim.stats.Counter` — registered under a prefix; its
+  named counts flatten into the snapshot as ``<prefix>.<count>``
+  (a Counter named ``l2`` with a ``hits`` count appears as ``l2.hits``).
+* :class:`~repro.sim.stats.Histogram` — snapshots to a dictionary of
+  ``{count, mean, min, max, bins}``.
+* :class:`~repro.sim.stats.UtilizationMeter` — snapshots to
+  ``{resources, busy_cycles, saturated}`` (utilization itself needs the
+  elapsed-cycle count, which the run manifest's result section carries).
+* **gauges** — zero-argument callables evaluated at snapshot time, for
+  values that live as plain attributes (bank occupancy, bits sent).
+
+Names collide loudly: registering two metrics under one name raises,
+because a silent overwrite would split measurement between two objects.
+:meth:`MetricsRegistry.snapshot` is sorted by name, so two snapshots of
+identical state are identical documents — the property the run-manifest
+round-trip and diff tooling rely on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, Iterator, Tuple, TypeVar, Union
+
+from repro.sim.stats import Counter, Histogram, UtilizationMeter
+
+Metric = Union[Counter, Histogram, UtilizationMeter, Callable[[], Any]]
+M = TypeVar("M", bound=Metric)
+
+#: dotted lowercase path: segments of [a-z0-9_]+ joined by single dots.
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+def valid_name(name: str) -> bool:
+    """True when ``name`` follows the dotted lowercase naming scheme."""
+    return bool(_NAME_RE.match(name))
+
+
+class MetricsRegistry:
+    """A flat namespace of dotted metric names -> live metric objects."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(self, name: str, metric: M) -> M:
+        """Register ``metric`` under ``name``; returns the metric.
+
+        Raises :class:`ValueError` on a malformed name or a collision —
+        one name must mean one measurement.
+        """
+        if not valid_name(name):
+            raise ValueError(
+                f"invalid metric name {name!r}: use dotted lowercase "
+                "segments of letters, digits, and underscores")
+        if name in self._metrics:
+            raise ValueError(f"metric name collision: {name!r} is already "
+                             f"registered ({type(self._metrics[name]).__name__})")
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Create and register a :class:`Counter` under ``name``."""
+        return self.register(name, Counter())
+
+    def histogram(self, name: str) -> Histogram:
+        """Create and register a :class:`Histogram` under ``name``."""
+        return self.register(name, Histogram())
+
+    def meter(self, name: str, resources: int) -> UtilizationMeter:
+        """Create and register a :class:`UtilizationMeter` under ``name``."""
+        return self.register(name, UtilizationMeter(resources))
+
+    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register a zero-argument callable evaluated at snapshot time."""
+        if not callable(fn):
+            raise TypeError("gauge requires a zero-argument callable")
+        self.register(name, fn)
+
+    def scope(self, prefix: str) -> "ScopedRegistry":
+        """A view that prefixes every registered name with ``prefix.``."""
+        if not valid_name(prefix):
+            raise ValueError(f"invalid scope prefix {prefix!r}")
+        return ScopedRegistry(self, prefix)
+
+    # -- queries -----------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Tuple[str, Metric]]:
+        return iter(sorted(self._metrics.items()))
+
+    def get(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._metrics))
+
+    # -- lifecycle ---------------------------------------------------------
+    def reset(self) -> None:
+        """Clear every owned metric in place (gauges are left alone —
+        they read live component state the components themselves reset)."""
+        for metric in self._metrics.values():
+            if isinstance(metric, (Counter, Histogram)):
+                metric.clear()
+            elif isinstance(metric, UtilizationMeter):
+                metric.reset()
+
+    # -- snapshots ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A sorted, JSON-ready document of every metric's current value.
+
+        Encoding (documented in docs/OBSERVABILITY.md):
+
+        * Counter ``l2`` with counts ``{hits: 5}`` -> ``"l2.hits": 5``
+          (counts sorted within the counter; an empty counter
+          contributes nothing).
+        * Histogram -> ``{"count", "mean", "min", "max", "bins"}`` with
+          bins keyed by the stringified value (JSON keys are strings);
+          min/max are ``None`` when empty.
+        * UtilizationMeter -> ``{"resources", "busy_cycles", "saturated"}``.
+        * gauge -> its return value, verbatim.
+        """
+        out: Dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                for key, value in metric:  # already sorted
+                    out[f"{name}.{key}"] = value
+            elif isinstance(metric, Histogram):
+                empty = metric.count == 0
+                out[name] = {
+                    "count": metric.count,
+                    "mean": metric.mean,
+                    "min": None if empty else metric.min,
+                    "max": None if empty else metric.max,
+                    "bins": {str(v): n for v, n in metric.items()},
+                }
+            elif isinstance(metric, UtilizationMeter):
+                out[name] = {
+                    "resources": metric.resources,
+                    "busy_cycles": metric.busy_cycles,
+                    "saturated": metric.saturated,
+                }
+            else:  # gauge
+                out[name] = metric()
+        return out
+
+
+class ScopedRegistry:
+    """A prefixing view onto a :class:`MetricsRegistry`.
+
+    Components register against a scope (``registry.scope("link")``)
+    without knowing where in the hierarchy they were mounted; scopes
+    nest (``scope.scope("pair00")``).
+    """
+
+    def __init__(self, base: MetricsRegistry, prefix: str) -> None:
+        self._base = base
+        self._prefix = prefix
+
+    def _qualify(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def register(self, name: str, metric: M) -> M:
+        return self._base.register(self._qualify(name), metric)
+
+    def counter(self, name: str) -> Counter:
+        return self._base.counter(self._qualify(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._base.histogram(self._qualify(name))
+
+    def meter(self, name: str, resources: int) -> UtilizationMeter:
+        return self._base.meter(self._qualify(name), resources)
+
+    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        self._base.gauge(self._qualify(name), fn)
+
+    def scope(self, prefix: str) -> "ScopedRegistry":
+        return ScopedRegistry(self._base, self._qualify(prefix))

@@ -5,7 +5,7 @@ from repro.sim.stats import Counter, Histogram, UtilizationMeter
 from repro.sim.memory import MainMemory
 from repro.sim.processor import ProcessorConfig, Processor, ExecutionResult
 from repro.sim.system import System, SystemResult, run_system
-from repro.sim.full_system import FullSystem, FullSystemResult
+from repro.sim.full_system import FullSystem, FullSystemResult, run_full_system
 
 __all__ = [
     "Engine",
@@ -21,4 +21,5 @@ __all__ = [
     "run_system",
     "FullSystem",
     "FullSystemResult",
+    "run_full_system",
 ]

@@ -16,12 +16,18 @@ from typing import Any, Callable, List, Tuple
 
 
 class Engine:
-    """A heap-scheduled discrete-event engine with an integer cycle clock."""
+    """A heap-scheduled discrete-event engine with an integer cycle clock.
 
-    def __init__(self) -> None:
+    ``tracer`` (an :class:`~repro.obs.trace.EventTracer`) opts into
+    ``engine.schedule`` / ``engine.dispatch`` events; with the default
+    ``None`` every hook is a single predicted-not-taken branch.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self._now = 0
         self._seq = 0
         self._queue: List[Tuple[int, int, Callable[[], Any]]] = []
+        self.tracer = tracer
 
     @property
     def now(self) -> int:
@@ -40,6 +46,9 @@ class Engine:
             raise ValueError(
                 f"cannot schedule at {time}, current time is {self._now}"
             )
+        if self.tracer is not None:
+            self.tracer.emit("engine.schedule", time=self._now, at=time,
+                             pending=len(self._queue))
         heapq.heappush(self._queue, (time, self._seq, callback))
         self._seq += 1
 
@@ -57,6 +66,9 @@ class Engine:
                 return self._now
             heapq.heappop(self._queue)
             self._now = time
+            if self.tracer is not None:
+                self.tracer.emit("engine.dispatch", time=time,
+                                 pending=len(self._queue))
             callback()
         if until is not None and until > self._now:
             self._now = until
@@ -68,6 +80,9 @@ class Engine:
             return False
         time, _seq, callback = heapq.heappop(self._queue)
         self._now = time
+        if self.tracer is not None:
+            self.tracer.emit("engine.dispatch", time=time,
+                             pending=len(self._queue))
         callback()
         return True
 

@@ -8,11 +8,17 @@ front of any L2 design, with L1 writebacks forwarded down as L2 writes.
 The processor model is the same as :class:`~repro.sim.processor.Processor`
 — issue-width front end, ROB window, MSHRs, dependence chains — with
 the L1 resolving most references at its 3-cycle latency.
+
+:func:`run_full_system` is the one-call entry point mirroring
+:func:`~repro.sim.system.run_system`, including the optional
+:class:`~repro.obs.manifest.RunObserver` that yields a
+:class:`~repro.obs.manifest.RunManifest` and an event trace.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time as _time
 from collections import deque
 from typing import Iterable, Optional
 
@@ -54,6 +60,7 @@ class FullSystem:
                  processor_config: Optional[ProcessorConfig] = None,
                  tech: Technology = TECH_45NM,
                  l1: Optional[L1Cache] = None,
+                 tracer=None,
                  **design_overrides) -> None:
         self.config = processor_config or ProcessorConfig()
         self.memory = MainMemory()
@@ -61,6 +68,12 @@ class FullSystem:
             latency_cycles=self.config.l1_latency)
         self.l2 = build_design(design_name, memory=self.memory, tech=tech,
                                **design_overrides)
+        self.tracer = tracer
+        #: the L2 design's registry, extended with the L1's metrics so a
+        #: full-system snapshot covers the whole hierarchy.
+        self.metrics = self.l2.metrics
+        self.metrics.register("l1", self.l1.stats)
+        self.l1.bank.register_metrics(self.metrics.scope("l1"))
 
     def prewarm(self, l2_spec) -> int:
         """Install an L2-level spec's resident population into the L2.
@@ -106,6 +119,9 @@ class FullSystem:
                     last_load_complete = cycle + self.l1.latency_cycles
                 continue
             l1_misses += 1
+            if self.tracer is not None:
+                self.tracer.emit("l1.miss", time=cycle, addr=ref.addr,
+                                 write=ref.write)
 
             while len(loads) + len(stores) >= cfg.mshrs:
                 earliest_load = loads[0][1] if loads else None
@@ -121,6 +137,12 @@ class FullSystem:
 
             outcome = self.l2.access(ref.addr, cycle + cfg.l1_latency,
                                      write=ref.write)
+            if self.tracer is not None:
+                self.tracer.emit("l2.access", time=cycle, addr=ref.addr,
+                                 write=ref.write, hit=outcome.hit,
+                                 latency=outcome.lookup_latency,
+                                 complete=outcome.complete_time,
+                                 predictable=outcome.predictable)
             if ref.write:
                 stores.append(outcome.complete_time)
             else:
@@ -131,6 +153,9 @@ class FullSystem:
                 writebacks += 1
                 self.l2.access(access.writeback, cycle + cfg.l1_latency,
                                write=True)
+                if self.tracer is not None:
+                    self.tracer.emit("l1.writeback", time=cycle,
+                                     addr=access.writeback)
 
         for _, done in loads:
             if done > cycle:
@@ -146,3 +171,57 @@ class FullSystem:
             l2_requests=self.l2.stats["requests"],
             l2_misses=self.l2.stats["misses"],
         )
+
+
+def run_full_system(design_name: str, spec, n_refs: int = 50_000,
+                    seed: int = 7, prewarm: bool = True,
+                    processor_config: Optional[ProcessorConfig] = None,
+                    tech: Technology = TECH_45NM,
+                    observer=None,
+                    **design_overrides) -> FullSystemResult:
+    """Generate a CPU-level trace from ``spec`` and run it end to end.
+
+    ``spec`` is a :class:`~repro.workloads.cpu_level.CpuLevelSpec`;
+    ``prewarm`` installs its L2-level resident population first (the
+    stand-in for the paper's fast-forward phase).  ``observer`` works
+    exactly as in :func:`~repro.sim.system.run_system`: it receives a
+    ``kind="full_system"`` :class:`~repro.obs.manifest.RunManifest`,
+    and its tracer captures ``l1.miss`` / ``l1.writeback`` /
+    ``l2.access`` events.
+    """
+    from repro.workloads.cpu_level import generate_cpu_trace
+
+    started = _time.perf_counter()
+    trace = generate_cpu_trace(spec, n_refs, seed=seed)
+    tracer = observer.tracer if observer is not None else None
+    system = FullSystem(design_name, processor_config, tech, tracer=tracer,
+                        **design_overrides)
+    if prewarm:
+        system.prewarm(spec.l2_spec)
+    result = system.run(trace)
+    if observer is not None:
+        from repro.obs.manifest import build_manifest
+
+        config = {
+            "design": system.l2.name,
+            "spec": dataclasses.asdict(spec),
+            "n_refs": n_refs,
+            "seed": seed,
+            "prewarm": prewarm,
+            "processor_config": dataclasses.asdict(system.config),
+            "tech": tech.name,
+            "design_overrides": {key: repr(value) for key, value
+                                 in sorted(design_overrides.items())},
+        }
+        observer.manifest = build_manifest(
+            kind="full_system",
+            design=system.l2.name,
+            benchmark=None,
+            seed=seed,
+            config=config,
+            metrics=system.metrics.snapshot(),
+            result=dataclasses.asdict(result),
+            trace=None if tracer is None else tracer.summary(),
+            wall_time_s=_time.perf_counter() - started,
+        )
+    return result

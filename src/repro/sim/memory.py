@@ -43,6 +43,14 @@ class MainMemory:
         self.stats.add("writes")
         return time + self.channel_cycles_per_access
 
+    def reset_stats(self) -> None:
+        """Zero the counters in place, preserving channel busy state.
+
+        In-place so a :class:`~repro.obs.registry.MetricsRegistry`
+        holding this counter keeps observing the live object.
+        """
+        self.stats.clear()
+
     def reset(self) -> None:
         self._channel_busy_until = 0
-        self.stats = Counter()
+        self.stats.clear()

@@ -65,11 +65,19 @@ class ExecutionResult:
 
 
 class Processor:
-    """Replays a reference trace against an L2 design."""
+    """Replays a reference trace against an L2 design.
 
-    def __init__(self, l2, config: Optional[ProcessorConfig] = None) -> None:
+    ``tracer`` (an :class:`~repro.obs.trace.EventTracer`) opts into
+    per-reference ``l2.access`` events and a ``run.warmup_end`` marker;
+    the default ``None`` costs one branch per reference and the
+    simulation result never depends on it.
+    """
+
+    def __init__(self, l2, config: Optional[ProcessorConfig] = None,
+                 tracer=None) -> None:
         self.l2 = l2
         self.config = config if config is not None else ProcessorConfig()
+        self.tracer = tracer
 
     def run(self, trace: Iterable[Reference], warmup_refs: int = 0) -> ExecutionResult:
         """Execute ``trace``; statistics cover the post-warmup portion.
@@ -91,10 +99,14 @@ class Processor:
         warmup_instr = 0
         requests = 0
 
+        tracer = self.tracer
         for i, ref in enumerate(trace):
             if i == warmup_refs and warmup_refs > 0:
                 warmup_cycle, warmup_instr = cycle, instr
                 self.l2.reset_stats()
+                if tracer is not None:
+                    tracer.emit("run.warmup_end", time=cycle, refs=i,
+                                instructions=instr)
 
             instr += ref.gap
             total_gap = ref.gap + gap_remainder
@@ -126,6 +138,12 @@ class Processor:
 
             outcome = self.l2.access(ref.addr, cycle + cfg.l1_latency,
                                      write=ref.write)
+            if tracer is not None:
+                tracer.emit("l2.access", time=cycle, ref=i, addr=ref.addr,
+                            write=ref.write, hit=outcome.hit,
+                            latency=outcome.lookup_latency,
+                            complete=outcome.complete_time,
+                            predictable=outcome.predictable)
             requests += 1
             if ref.write:
                 stores.append(outcome.complete_time)

@@ -24,6 +24,11 @@ class Counter:
     def add(self, name: str, amount: int = 1) -> None:
         self._counts[name] += amount
 
+    def clear(self) -> None:
+        """Zero every count in place (the object identity is preserved,
+        so registries holding this counter keep seeing the live values)."""
+        self._counts.clear()
+
     def __getitem__(self, name: str) -> int:
         return self._counts.get(name, 0)
 
@@ -56,6 +61,13 @@ class Histogram:
         self._bins[value] += weight
         self._count += weight
         self._total += value * weight
+
+    def clear(self) -> None:
+        """Drop every sample in place (identity-preserving, like
+        :meth:`Counter.clear`)."""
+        self._bins.clear()
+        self._count = 0
+        self._total = 0
 
     @property
     def count(self) -> int:
@@ -93,11 +105,21 @@ class Histogram:
         return covered / self._count
 
     def percentile(self, p: float) -> int:
-        """The smallest value v with at least fraction ``p`` of mass ``<= v``."""
+        """The smallest value v with at least fraction ``p`` of mass ``<= v``.
+
+        Convention for the boundary: ``percentile(0.0)`` is *defined* as
+        the minimum recorded value.  Taken literally, zero mass is
+        "<=" any value, so the general rule above would be satisfied by
+        arbitrarily small v; we pin p=0 to ``self.min`` (the limit of
+        ``percentile(p)`` as p -> 0+), matching the inclusive
+        lower-bound convention of numpy's ``percentile(..., 0)``.
+        """
         if not 0.0 <= p <= 1.0:
             raise ValueError("percentile must be in [0, 1]")
         if self._count == 0:
             raise ValueError("empty histogram has no percentiles")
+        if p == 0.0:
+            return self.min
         threshold = p * self._count
         running = 0
         for value in sorted(self._bins):
@@ -118,6 +140,15 @@ class UtilizationMeter:
     ``total busy cycles / (elapsed cycles * resource count)`` — exactly
     the paper's "percentage of cycles where the transmission lines
     actually communicate data".
+
+    The quotient can exceed 1.0 when the accounting window does not
+    cover every charged transfer — e.g. non-contending fill/writeback
+    traffic scheduled past the measured interval, or an
+    ``elapsed_cycles`` taken after a warmup reset that preserved busy
+    state.  A utilization above 1.0 is physically impossible, so
+    :meth:`utilization` clamps to 1.0 and latches :attr:`saturated`
+    instead of silently reporting it; :meth:`raw_utilization` returns
+    the unclamped quotient for diagnostics.
     """
 
     def __init__(self, resources: int) -> None:
@@ -125,13 +156,28 @@ class UtilizationMeter:
             raise ValueError("need at least one resource")
         self.resources = resources
         self.busy_cycles = 0
+        #: latched True the first time a clamp was needed (cleared by reset()).
+        self.saturated = False
 
     def busy(self, cycles: int) -> None:
         if cycles < 0:
             raise ValueError("busy cycles must be non-negative")
         self.busy_cycles += cycles
 
-    def utilization(self, elapsed_cycles: int) -> float:
+    def raw_utilization(self, elapsed_cycles: int) -> float:
+        """The unclamped busy/capacity quotient (may exceed 1.0)."""
         if elapsed_cycles <= 0:
             return 0.0
         return self.busy_cycles / (elapsed_cycles * self.resources)
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        raw = self.raw_utilization(elapsed_cycles)
+        if raw > 1.0:
+            self.saturated = True
+            return 1.0
+        return raw
+
+    def reset(self) -> None:
+        """Zero the busy accounting in place (identity-preserving)."""
+        self.busy_cycles = 0
+        self.saturated = False

@@ -5,11 +5,19 @@ examples, the tests, and every benchmark harness: it builds the named
 L2 design, generates (or accepts) a reference trace, replays it through
 the processor model, and returns a :class:`SystemResult` carrying every
 metric the paper's tables and figures report.
+
+Passing a :class:`~repro.obs.manifest.RunObserver` additionally yields
+a :class:`~repro.obs.manifest.RunManifest` (config digest, seed, code
+version, wall time, full metrics snapshot) and — if the observer holds
+an :class:`~repro.obs.trace.EventTracer` — a per-reference event trace.
+Observation never changes the simulation: results with and without an
+observer are identical.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time as _time
 from typing import List, Optional, Sequence
 
 from repro.core.config import build_design
@@ -83,11 +91,12 @@ class System:
                  processor_config: Optional[ProcessorConfig] = None,
                  tech: Technology = TECH_45NM,
                  memory: Optional[MainMemory] = None,
+                 tracer=None,
                  **design_overrides) -> None:
         self.memory = memory if memory is not None else MainMemory()
         self.l2 = build_design(design_name, memory=self.memory, tech=tech,
                                **design_overrides)
-        self.processor = Processor(self.l2, processor_config)
+        self.processor = Processor(self.l2, processor_config, tracer=tracer)
 
     def run(self, trace: Sequence[Reference], benchmark: str = "custom",
             warmup_refs: int = 0) -> SystemResult:
@@ -117,6 +126,7 @@ def run_system(design_name: str, benchmark: str, n_refs: int = 50_000,
                trace: Optional[List[Reference]] = None,
                prewarm_spec=None,
                memory: Optional[MainMemory] = None,
+               observer=None,
                **design_overrides) -> SystemResult:
     """Run ``benchmark`` on ``design_name`` and collect all metrics.
 
@@ -132,7 +142,15 @@ def run_system(design_name: str, benchmark: str, n_refs: int = 50_000,
 
     ``memory`` substitutes a non-default :class:`MainMemory` (e.g. the
     latency sweeps' slower/faster DRAM).
+
+    ``observer`` (a :class:`~repro.obs.manifest.RunObserver`) receives
+    the run's :class:`~repro.obs.manifest.RunManifest` on
+    ``observer.manifest``, and its tracer — when set — is attached to
+    the processor model.  Observation is strictly read-only: the
+    returned :class:`SystemResult` is identical with or without it.
     """
+    started = _time.perf_counter()
+    external_trace = trace is not None
     prewarm: Optional[List[int]] = None
     if trace is None:
         profile = get_profile(benchmark)
@@ -143,11 +161,42 @@ def run_system(design_name: str, benchmark: str, n_refs: int = 50_000,
     elif benchmark in {name for name in _known_benchmarks()}:
         prewarm = resident_block_addresses(get_profile(benchmark).spec)
     warmup_refs = int(len(trace) * warmup_fraction)
+    tracer = observer.tracer if observer is not None else None
     system = System(design_name, processor_config, tech, memory=memory,
-                    **design_overrides)
+                    tracer=tracer, **design_overrides)
     if prewarm is not None:
         prewarm_l2(system.l2, prewarm)
-    return system.run(trace, benchmark=benchmark, warmup_refs=warmup_refs)
+    result = system.run(trace, benchmark=benchmark, warmup_refs=warmup_refs)
+    if observer is not None:
+        from repro.obs.manifest import build_manifest
+
+        config = {
+            "design": system.l2.name,
+            "benchmark": benchmark,
+            "n_refs": len(trace),
+            "seed": seed,
+            "warmup_fraction": warmup_fraction,
+            "warmup_refs": warmup_refs,
+            "processor_config": dataclasses.asdict(
+                system.processor.config),
+            "tech": tech.name,
+            "memory_latency_cycles": system.memory.latency_cycles,
+            "design_overrides": {key: repr(value) for key, value
+                                 in sorted(design_overrides.items())},
+            "external_trace": external_trace,
+        }
+        observer.manifest = build_manifest(
+            kind="system",
+            design=system.l2.name,
+            benchmark=benchmark,
+            seed=seed,
+            config=config,
+            metrics=system.l2.metrics.snapshot(),
+            result=dataclasses.asdict(result),
+            trace=None if tracer is None else tracer.summary(),
+            wall_time_s=_time.perf_counter() - started,
+        )
+    return result
 
 
 def _known_benchmarks():

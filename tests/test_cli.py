@@ -10,13 +10,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_unknown_design_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "NOPE", "gcc"])
+    def test_unknown_design_rejected(self, capsys):
+        assert main(["run", "NOPE", "gcc"]) == 2
+        assert "unknown design" in capsys.readouterr().err
 
-    def test_unknown_benchmark_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "TLC", "linpack"])
+    def test_unknown_benchmark_rejected(self, capsys):
+        assert main(["run", "TLC", "linpack"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_design_flag_spelling_normalized(self, capsys):
+        assert main(["run", "--design", "tlc_opt_500", "--benchmark", "perl",
+                     "--refs", "1500"]) == 0
+        assert "TLCopt500 on perl" in capsys.readouterr().out
+
+    def test_run_requires_both_names(self, capsys):
+        assert main(["run", "TLC"]) == 2
+        assert "required" in capsys.readouterr().err
 
 
 class TestInformational:

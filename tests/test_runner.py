@@ -148,7 +148,8 @@ class TestCacheKey:
         import repro.analysis.runner as runner_module
 
         before = cache_key(self.BASE)
-        monkeypatch.setattr(runner_module, "_CODE_VERSION_STAMP", "0" * 64)
+        monkeypatch.setattr(runner_module, "code_version_stamp",
+                            lambda: "0" * 64)
         assert cache_key(self.BASE) != before
 
     def test_code_version_stamp_is_hex_digest(self):
