@@ -69,19 +69,25 @@ def run_design_grid(designs: Sequence[str] = MAIN_DESIGNS,
                     processor_config: Optional[ProcessorConfig] = None,
                     workers: int = 1,
                     cache=None,
+                    policy=None, checkpoint=None, fault_plan=None,
+                    telemetry=None,
                     ) -> ExperimentGrid:
     """Run every design on every benchmark, one shared trace per benchmark.
 
     ``workers`` and ``cache`` are forwarded to
     :func:`repro.analysis.runner.run_grid`; the default (serial,
-    uncached) path is cell-for-cell identical to both.
+    uncached) path is cell-for-cell identical to both.  ``policy`` /
+    ``checkpoint`` / ``fault_plan`` / ``telemetry`` opt into the
+    fault-tolerant executor (:mod:`repro.analysis.resilience`).
     """
     from repro.analysis.runner import run_grid
 
     return run_grid(designs=designs, benchmarks=benchmarks, n_refs=n_refs,
                     seed=seed, warmup_fraction=warmup_fraction,
                     processor_config=processor_config,
-                    workers=workers, cache=cache)
+                    workers=workers, cache=cache,
+                    policy=policy, checkpoint=checkpoint,
+                    fault_plan=fault_plan, telemetry=telemetry)
 
 
 def run_benchmark_suite(design: str, benchmarks: Optional[Sequence[str]] = None,
@@ -90,6 +96,8 @@ def run_benchmark_suite(design: str, benchmarks: Optional[Sequence[str]] = None,
                         processor_config: Optional[ProcessorConfig] = None,
                         workers: int = 1,
                         cache=None,
+                        policy=None, checkpoint=None, fault_plan=None,
+                        telemetry=None,
                         ) -> Dict[str, SystemResult]:
     """Run one design across the benchmark suite.
 
@@ -102,6 +110,8 @@ def run_benchmark_suite(design: str, benchmarks: Optional[Sequence[str]] = None,
     grid = run_grid(designs=(design,), benchmarks=benchmarks, n_refs=n_refs,
                     seed=seed, warmup_fraction=warmup_fraction,
                     processor_config=processor_config,
-                    workers=workers, cache=cache)
+                    workers=workers, cache=cache,
+                    policy=policy, checkpoint=checkpoint,
+                    fault_plan=fault_plan, telemetry=telemetry)
     return {benchmark: grid.result(design, benchmark)
             for benchmark in grid.benchmarks}

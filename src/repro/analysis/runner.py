@@ -28,6 +28,18 @@ module exploits that twice:
 :mod:`repro.analysis.experiments` and :mod:`repro.analysis.sweeps` are
 layered on; :func:`execute_cells` is the lower-level list-in/list-out
 executor for irregular cell sets (the sweeps).
+
+Fault tolerance — per-cell timeouts, retries with backoff, worker-crash
+recovery, checkpoint/resume journals, deterministic fault injection —
+lives in :mod:`repro.analysis.resilience`; passing any of ``policy`` /
+``checkpoint`` / ``fault_plan`` / ``telemetry`` (or setting the
+``REPRO_FAULT_PLAN`` environment variable) routes execution through the
+resilient path, which is byte-identical to this module's fast path.
+Cache entries carry an integrity digest; a corrupted or truncated entry
+is quarantined under ``<cache_dir>/quarantine/`` and recomputed instead
+of crashing the grid (``ResultCache.load`` raises the typed
+:class:`~repro.analysis.storage.CacheCorruptionError` for callers that
+want the failure).
 """
 
 from __future__ import annotations
@@ -51,7 +63,9 @@ from repro.workloads.profiles import benchmark_names
 from repro.workloads.synthetic import TraceSpec, generate_trace
 
 #: Bump when the cache payload layout (not the simulated code) changes.
-CACHE_FORMAT_VERSION = 1
+#: v2 added the per-entry integrity digest; v1 entries hash to different
+#: keys (the version is part of the key payload) and are simply unseen.
+CACHE_FORMAT_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -148,6 +162,11 @@ class CellOutcome:
     result: SystemResult
     wall_time_s: float
     from_cache: bool
+    #: how many attempts the resilient executor needed (1 on the fast
+    #: path: it never retries).
+    attempts: int = 1
+    #: True when the result was replayed from a checkpoint journal.
+    from_checkpoint: bool = False
 
 
 class ResultCache:
@@ -155,11 +174,19 @@ class ResultCache:
 
     Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is
     :func:`cache_key`.  Each file carries the key fields it was computed
-    from (for auditing with plain ``jq``/``grep``) and the result in the
-    :func:`repro.analysis.storage.result_to_dict` encoding.  Writes are
-    atomic (temp file + ``os.replace``) so concurrent workers or
-    overlapping pytest sessions can share one cache directory safely;
-    corrupt or unreadable entries are treated as misses and rewritten.
+    from (for auditing with plain ``jq``/``grep``), the result in the
+    :func:`repro.analysis.storage.result_to_dict` encoding, and an
+    integrity digest over the result payload.  Writes are atomic
+    (temp file + ``os.replace``) so concurrent workers or overlapping
+    pytest sessions can share one cache directory safely.
+
+    Read integrity: :meth:`load` verifies format, fields, and digest,
+    raising the typed
+    :class:`~repro.analysis.storage.CacheCorruptionError` on anything
+    untrustworthy; :meth:`get` turns corruption into a quarantine (the
+    bad file is moved to ``<root>/quarantine/`` for post-mortem) plus a
+    miss, so grids recompute instead of crashing — or worse, silently
+    analyzing garbage.
     """
 
     def __init__(self, root: Union[str, os.PathLike]) -> None:
@@ -167,36 +194,112 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[SystemResult]:
-        """The cached result for ``key``, or ``None`` on a miss."""
-        from repro.analysis.storage import result_from_dict
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def load(self, key: str) -> SystemResult:
+        """The verified cached result for ``key``.
+
+        Raises :class:`FileNotFoundError` for an absent entry and
+        :class:`~repro.analysis.storage.CacheCorruptionError` for one
+        that exists but fails any verification step.
+        """
+        from repro.analysis.storage import (
+            CacheCorruptionError,
+            integrity_digest,
+            result_from_dict,
+        )
 
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            result = result_from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+                raw = handle.read()
+        except FileNotFoundError:
+            raise
+        except OSError as error:
+            raise CacheCorruptionError(
+                f"unreadable cache entry {path}: {error}") from error
+        try:
+            payload = json.loads(raw)
+        except ValueError as error:
+            raise CacheCorruptionError(
+                f"cache entry {path} is not valid JSON (truncated "
+                f"write?): {error}") from error
+        if not isinstance(payload, dict):
+            raise CacheCorruptionError(
+                f"cache entry {path} is not a JSON object")
+        if payload.get("cache_format") != CACHE_FORMAT_VERSION:
+            raise CacheCorruptionError(
+                f"cache entry {path} has format "
+                f"{payload.get('cache_format')!r} "
+                f"(expected {CACHE_FORMAT_VERSION})")
+        result_payload = payload.get("result")
+        if not isinstance(result_payload, dict):
+            raise CacheCorruptionError(
+                f"cache entry {path} is missing its result payload")
+        if payload.get("integrity") != integrity_digest(result_payload):
+            raise CacheCorruptionError(
+                f"cache entry {path} failed its integrity digest "
+                "(bit rot or a hand edit)")
+        try:
+            return result_from_dict(result_payload)
+        except (ValueError, TypeError) as error:
+            raise CacheCorruptionError(
+                f"cache entry {path} holds an invalid result: "
+                f"{error}") from error
+
+    def get(self, key: str) -> Optional[SystemResult]:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        A corrupt entry is quarantined and reported as a miss, so the
+        caller recomputes (and :meth:`put` then heals the entry).
+        """
+        from repro.analysis.storage import CacheCorruptionError
+
+        try:
+            result = self.load(key)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except CacheCorruptionError:
+            self._quarantine(key)
             self.misses += 1
             return None
         self.hits += 1
         return result
 
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry aside (never leave it to fail again)."""
+        path = self.path_for(key)
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.quarantined += 1
+
     def put(self, key: str, cell: CellSpec, result: SystemResult) -> None:
         """Store ``result`` under ``key`` atomically."""
-        from repro.analysis.storage import result_to_dict
+        from repro.analysis.storage import integrity_digest, result_to_dict
 
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        result_payload = result_to_dict(result)
         payload = {
             "cache_format": CACHE_FORMAT_VERSION,
             "code_version": code_version_stamp(),
             "cell": cell.key_fields(),
-            "result": result_to_dict(result),
+            "integrity": integrity_digest(result_payload),
+            "result": result_payload,
         }
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
@@ -232,6 +335,8 @@ def _run_pool(cells: Sequence[CellSpec], workers: int,
 def execute_cells_detailed(cells: Sequence[CellSpec], workers: int = 1,
                            cache: Union[ResultCache, str, os.PathLike,
                                         None] = None,
+                           policy=None, checkpoint=None, fault_plan=None,
+                           telemetry=None,
                            ) -> List[CellOutcome]:
     """Run every cell, in order, answering from ``cache`` where possible.
 
@@ -242,8 +347,28 @@ def execute_cells_detailed(cells: Sequence[CellSpec], workers: int = 1,
     bit-identical to serial: each cell is a deterministic function of
     its spec alone.  Each :class:`CellOutcome` additionally records the
     cell's wall time and whether the cache answered it.
+
+    Passing a :class:`~repro.analysis.resilience.RetryPolicy`
+    (``policy``), a checkpoint journal or path (``checkpoint``), a
+    :class:`~repro.analysis.resilience.FaultPlan` (``fault_plan``), or a
+    :class:`~repro.analysis.resilience.RunnerTelemetry` (``telemetry``)
+    — or setting ``REPRO_FAULT_PLAN`` in the environment — routes
+    execution through the fault-tolerant executor, which additionally
+    retries, times out, and reschedules cells and journals completed
+    outcomes.  Results are byte-identical either way.
     """
     cache = as_cache(cache)
+    if fault_plan is None:
+        from repro.analysis.resilience import FaultPlan
+
+        fault_plan = FaultPlan.from_env()
+    if (policy is not None or checkpoint is not None
+            or fault_plan is not None or telemetry is not None):
+        from repro.analysis.resilience import execute_resilient
+
+        return execute_resilient(cells, workers=workers, cache=cache,
+                                 policy=policy, checkpoint=checkpoint,
+                                 fault_plan=fault_plan, telemetry=telemetry)
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
     pending: List[Tuple[int, CellSpec, str]] = []
     for index, cell in enumerate(cells):
@@ -275,11 +400,12 @@ def execute_cells_detailed(cells: Sequence[CellSpec], workers: int = 1,
 
 def execute_cells(cells: Sequence[CellSpec], workers: int = 1,
                   cache: Union[ResultCache, str, os.PathLike, None] = None,
-                  ) -> List[SystemResult]:
+                  **resilience) -> List[SystemResult]:
     """Run every cell, in order; results only (see
     :func:`execute_cells_detailed` for per-cell provenance)."""
     return [outcome.result for outcome
-            in execute_cells_detailed(cells, workers=workers, cache=cache)]
+            in execute_cells_detailed(cells, workers=workers, cache=cache,
+                                      **resilience)]
 
 
 def run_grid(designs: Sequence[str],
@@ -289,13 +415,16 @@ def run_grid(designs: Sequence[str],
              processor_config: Optional[ProcessorConfig] = None,
              tech: Technology = TECH_45NM,
              workers: int = 1,
-             cache: Union[ResultCache, str, os.PathLike, None] = None):
+             cache: Union[ResultCache, str, os.PathLike, None] = None,
+             policy=None, checkpoint=None, fault_plan=None, telemetry=None):
     """Run a full (design x benchmark) grid through the runner.
 
     Returns an :class:`~repro.analysis.experiments.ExperimentGrid`.
     Every design sees the identical per-benchmark reference stream (the
     trace is a pure function of ``(profile spec, n_refs, seed)``), so
-    this matches the legacy serial grid cell-for-cell.
+    this matches the legacy serial grid cell-for-cell.  ``policy`` /
+    ``checkpoint`` / ``fault_plan`` / ``telemetry`` opt into the
+    fault-tolerant executor (see :func:`execute_cells_detailed`).
     """
     from repro.analysis.experiments import ExperimentGrid
 
@@ -305,7 +434,10 @@ def run_grid(designs: Sequence[str],
                       seed=seed, warmup_fraction=warmup_fraction,
                       processor_config=processor_config, tech=tech)
              for benchmark in benchmarks for design in designs]
-    outcomes = execute_cells_detailed(cells, workers=workers, cache=cache)
+    outcomes = execute_cells_detailed(cells, workers=workers, cache=cache,
+                                      policy=policy, checkpoint=checkpoint,
+                                      fault_plan=fault_plan,
+                                      telemetry=telemetry)
     cell_results: Dict[Tuple[str, str], SystemResult] = {
         (outcome.cell.design, outcome.cell.benchmark): outcome.result
         for outcome in outcomes
@@ -314,6 +446,8 @@ def run_grid(designs: Sequence[str],
         (outcome.cell.design, outcome.cell.benchmark): {
             "wall_time_s": outcome.wall_time_s,
             "from_cache": outcome.from_cache,
+            "attempts": outcome.attempts,
+            "from_checkpoint": outcome.from_checkpoint,
             "l2_hits": outcome.result.l2_hits,
             "l2_misses": outcome.result.l2_misses,
         }

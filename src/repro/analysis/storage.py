@@ -9,6 +9,7 @@ without re-simulating, and results can be diffed across code versions.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from typing import Dict, Tuple
 
@@ -16,6 +17,30 @@ from repro.analysis.experiments import ExperimentGrid
 from repro.sim.system import SystemResult
 
 FORMAT_VERSION = 1
+
+
+class CacheCorruptionError(ValueError):
+    """A persisted result entry exists but cannot be trusted.
+
+    Raised (never silently swallowed into garbage data) when a cache
+    file is truncated, is not JSON, carries the wrong format version,
+    fails result-field validation, or fails its integrity digest.  The
+    runner's :class:`~repro.analysis.runner.ResultCache` catches this to
+    quarantine the entry and recompute the cell instead of crashing the
+    grid — see ``ResultCache.get`` vs the raising ``ResultCache.load``.
+    """
+
+
+def integrity_digest(result_payload: dict) -> str:
+    """SHA-256 over the canonical JSON encoding of one result payload.
+
+    Stored alongside every cache entry so bit rot *inside* an otherwise
+    well-formed JSON document (a flipped digit survives both
+    ``json.load`` and field validation) is still detected at read time.
+    """
+    canonical = json.dumps(result_payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def result_to_dict(result: SystemResult) -> dict:

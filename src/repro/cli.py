@@ -270,6 +270,31 @@ def _grid_cache(args):
     return ResultCache(args.cache_dir)
 
 
+def _grid_resilience(args):
+    """``(policy, checkpoint, telemetry)`` for the grid/report commands.
+
+    All ``None`` when no resilience flag is set and no ``REPRO_FAULT_PLAN``
+    is in the environment, which keeps the default path on the fast
+    (pool-based) executor.
+    """
+    from repro.analysis.resilience import (
+        CheckpointJournal,
+        FaultPlan,
+        RetryPolicy,
+        RunnerTelemetry,
+    )
+
+    wanted = (args.retries or args.cell_timeout or args.checkpoint
+              or FaultPlan.from_env() is not None)
+    if not wanted:
+        return None, None, None
+    policy = RetryPolicy(max_retries=args.retries,
+                         cell_timeout_s=args.cell_timeout,
+                         backoff_base_s=0.5)
+    checkpoint = CheckpointJournal(args.checkpoint) if args.checkpoint else None
+    return policy, checkpoint, RunnerTelemetry()
+
+
 def _cmd_grid(args) -> int:
     from repro.analysis.experiments import run_design_grid
     from repro.analysis.storage import load_grid, save_grid
@@ -279,13 +304,20 @@ def _cmd_grid(args) -> int:
         print(f"loaded grid from {args.load}")
     else:
         cache = _grid_cache(args)
+        policy, checkpoint, telemetry = _grid_resilience(args)
         grid = run_design_grid(designs=args.designs or ("SNUCA2", "DNUCA", "TLC"),
                                benchmarks=args.benchmarks or None,
                                n_refs=args.refs, seed=args.seed,
-                               workers=args.workers, cache=cache)
+                               workers=args.workers, cache=cache,
+                               policy=policy, checkpoint=checkpoint,
+                               telemetry=telemetry)
         if cache is not None:
             print(f"cache: {cache.hits} hit(s), {cache.stores} cell(s) "
                   f"simulated and stored under {args.cache_dir}")
+        if telemetry is not None:
+            print(f"resilience: {telemetry.summary()}")
+            if args.checkpoint:
+                print(f"checkpoint journal: {args.checkpoint}")
     if args.save:
         save_grid(args.save, grid)
         print(f"grid saved to {args.save}")
@@ -336,11 +368,16 @@ def _cmd_report(args) -> int:
 
     started = _time.perf_counter()
     cache = _grid_cache(args)
+    policy, checkpoint, telemetry = _grid_resilience(args)
     main_grid = run_design_grid(designs=MAIN_DESIGNS, n_refs=args.refs,
-                                workers=args.workers, cache=cache)
+                                workers=args.workers, cache=cache,
+                                policy=policy, checkpoint=checkpoint,
+                                telemetry=telemetry)
     family_grid = run_design_grid(designs=("SNUCA2",) + TLC_FAMILY,
                                   n_refs=args.refs,
-                                  workers=args.workers, cache=cache)
+                                  workers=args.workers, cache=cache,
+                                  policy=policy, checkpoint=checkpoint,
+                                  telemetry=telemetry)
     text = build_report(main_grid=main_grid, family_grid=family_grid,
                         n_refs=args.refs)
     if args.out:
@@ -349,8 +386,10 @@ def _cmd_report(args) -> int:
         print(f"report written to {args.out}")
     else:
         print(text)
+    if telemetry is not None:
+        print(f"resilience: {telemetry.summary()}")
     if args.metrics_out:
-        from repro.obs import build_manifest, save_manifest
+        from repro.obs import MetricsRegistry, build_manifest, save_manifest
 
         config = {
             "n_refs": args.refs,
@@ -359,13 +398,24 @@ def _cmd_report(args) -> int:
             "benchmarks": list(main_grid.benchmarks),
             "workers": args.workers,
             "cached": cache is not None,
+            "retries": args.retries,
+            "cell_timeout_s": args.cell_timeout,
+            "checkpoint": args.checkpoint,
         }
+        metrics = {"main": _grid_manifest_section(main_grid),
+                   "family": _grid_manifest_section(family_grid)}
+        if telemetry is not None:
+            # Mount the live runner counter on a registry so the
+            # manifest carries the same runner.* names snapshots use.
+            registry = MetricsRegistry()
+            telemetry.register(registry)
+            metrics.update(registry.snapshot())
         manifest = build_manifest(
             kind="report",
             config=config,
-            metrics={"main": _grid_manifest_section(main_grid),
-                     "family": _grid_manifest_section(family_grid)},
+            metrics=metrics,
             wall_time_s=_time.perf_counter() - started,
+            resilience=telemetry.as_dict() if telemetry is not None else None,
         )
         save_manifest(args.metrics_out, manifest)
         print(f"report manifest written to {args.metrics_out}")
@@ -453,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="content-addressed result cache directory; "
                            "cells already simulated (by any command "
                            "sharing the directory) are reused")
+    _add_resilience_flags(grid)
     grid.set_defaults(func=_cmd_grid)
 
     report = sub.add_parser("report", help="full measured-vs-paper report")
@@ -466,10 +517,27 @@ def build_parser() -> argparse.ArgumentParser:
                              "a cache pays off within one run)")
     report.add_argument("--metrics-out", metavar="FILE",
                         help="write a grid manifest (per-cell headline "
-                             "numbers, wall times, cache hits) as JSON")
+                             "numbers, wall times, cache hits, resilience "
+                             "counters) as JSON")
+    _add_resilience_flags(report)
     report.set_defaults(func=_cmd_report)
 
     return parser
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance flags shared by ``grid`` and ``report``."""
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry a failed, crashed, or timed-out cell "
+                             "up to N times (exponential backoff)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill and reschedule any cell attempt running "
+                             "longer than this")
+    parser.add_argument("--checkpoint", metavar="FILE",
+                        help="journal completed cells to FILE (JSONL); an "
+                             "interrupted run resumes from it and produces "
+                             "a byte-identical grid")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -88,6 +88,13 @@ class RunManifest:
     result: Optional[Dict[str, Any]] = None
     #: :meth:`~repro.obs.trace.EventTracer.summary`, when tracing was on.
     trace: Optional[Dict[str, Any]] = None
+    #: :meth:`~repro.analysis.resilience.RunnerTelemetry.as_dict` —
+    #: attempts / retries / timeouts / worker deaths / quarantined
+    #: cache entries / checkpoint replays — when the run went through
+    #: the fault-tolerant executor.  Execution provenance like wall
+    #: time: excluded from :func:`diff_manifests` (a retried run and a
+    #: clean run measure the same thing).
+    resilience: Optional[Dict[str, Any]] = None
 
 
 def build_manifest(kind: str, config: Dict[str, Any],
@@ -97,7 +104,8 @@ def build_manifest(kind: str, config: Dict[str, Any],
                    benchmark: Optional[str] = None,
                    seed: Optional[int] = None,
                    result: Optional[Dict[str, Any]] = None,
-                   trace: Optional[Dict[str, Any]] = None) -> RunManifest:
+                   trace: Optional[Dict[str, Any]] = None,
+                   resilience: Optional[Dict[str, Any]] = None) -> RunManifest:
     """Assemble a manifest, stamping the config digest and code version."""
     return RunManifest(
         schema=SCHEMA_VERSION,
@@ -112,6 +120,7 @@ def build_manifest(kind: str, config: Dict[str, Any],
         metrics=metrics,
         result=result,
         trace=trace,
+        resilience=resilience,
     )
 
 

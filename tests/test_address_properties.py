@@ -1,0 +1,93 @@
+"""Property-based tests for address decomposition (Hypothesis).
+
+The grid's correctness rests on :class:`repro.cache.address.AddressMap`
+decomposing every byte address into ``(tag, set, bank)`` and back
+without loss, for *any* power-of-two geometry — not just the paper's
+64-byte / 32-bank configuration the unit tests pin.  Hypothesis
+explores the whole configuration space.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.cache.address import AddressMap, block_address  # noqa: E402
+
+#: Powers of two in a realistic range: blocks 1B-512B, sets 1-64Ki,
+#: banks 1-256.
+block_sizes = st.integers(0, 9).map(lambda e: 2 ** e)
+set_counts = st.integers(0, 16).map(lambda e: 2 ** e)
+bank_counts = st.integers(0, 8).map(lambda e: 2 ** e)
+addresses = st.integers(0, 2 ** 48 - 1)
+
+maps = st.builds(AddressMap, block_bytes=block_sizes, num_sets=set_counts,
+                 banks=bank_counts)
+
+
+@settings(max_examples=200)
+@given(amap=maps, addr=addresses)
+def test_split_rebuild_round_trips_to_block_address(amap, addr):
+    """rebuild(tag, set, bank) recovers the block-aligned address."""
+    rebuilt = amap.rebuild(amap.tag(addr), amap.set_index(addr),
+                           amap.bank_index(addr))
+    assert rebuilt == block_address(addr, amap.block_bytes)
+
+
+@settings(max_examples=200)
+@given(amap=maps, addr=addresses)
+def test_rebuilt_address_decomposes_identically(amap, addr):
+    """Decompose → rebuild → decompose is a fixed point."""
+    tag, set_index, bank = (amap.tag(addr), amap.set_index(addr),
+                            amap.bank_index(addr))
+    rebuilt = amap.rebuild(tag, set_index, bank)
+    assert amap.tag(rebuilt) == tag
+    assert amap.set_index(rebuilt) == set_index
+    assert amap.bank_index(rebuilt) == bank
+
+
+@settings(max_examples=200)
+@given(amap=maps, addr=addresses)
+def test_components_stay_in_range(amap, addr):
+    assert 0 <= amap.set_index(addr) < amap.num_sets
+    assert 0 <= amap.bank_index(addr) < amap.banks
+    assert amap.tag(addr) >= 0
+
+
+@settings(max_examples=200)
+@given(amap=maps, addr=addresses, offset=st.integers(0, 2 ** 9 - 1))
+def test_every_byte_of_a_block_decomposes_identically(amap, addr, offset):
+    """Offset bits never leak into tag / set / bank."""
+    base = block_address(addr, amap.block_bytes)
+    other = base + offset % amap.block_bytes
+    assert amap.tag(other) == amap.tag(base)
+    assert amap.set_index(other) == amap.set_index(base)
+    assert amap.bank_index(other) == amap.bank_index(base)
+
+
+@settings(max_examples=200)
+@given(amap=maps, addr=addresses)
+def test_bit_budget_is_exact(amap, addr):
+    """tag | set | bank | offset partition the block number exactly."""
+    block = amap.block(addr)
+    reassembled = ((amap.tag(addr) << (amap.bank_bits + amap.set_bits))
+                   | (amap.set_index(addr) << amap.bank_bits)
+                   | amap.bank_index(addr))
+    assert reassembled == block
+
+
+@settings(max_examples=100)
+@given(addr=addresses, block=block_sizes)
+def test_block_address_is_idempotent_and_aligned(addr, block):
+    aligned = block_address(addr, block)
+    assert aligned % block == 0
+    assert block_address(aligned, block) == aligned
+    assert 0 <= addr - aligned < block
+
+
+@given(value=st.integers(-8, 2 ** 20).filter(
+    lambda n: n <= 0 or (n & (n - 1)) != 0))
+def test_non_power_of_two_geometry_rejected(value):
+    with pytest.raises(ValueError, match="power of two"):
+        AddressMap(block_bytes=64, num_sets=value if value else 3, banks=1)

@@ -1,0 +1,138 @@
+"""Golden-file regression tests for rendered analysis output.
+
+``analysis/tables.py`` and ``analysis/report.py`` produce the text
+humans (and CI artifact diffs) read; an accidental formatting change —
+a shifted column, a dropped header, a float rendered differently —
+should fail loudly here and be accepted *deliberately* by regenerating
+the checked-in expectations:
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_output.py
+
+The grids feeding ``build_report`` are hand-built from synthetic
+:class:`SystemResult` cells (no simulation), so these tests pin the
+*rendering* only: simulator-number changes never touch them, renderer
+changes always do.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentGrid, MAIN_DESIGNS, TLC_FAMILY
+from repro.analysis.figures import grouped_bar_chart
+from repro.analysis.report import build_report
+from repro.analysis.tables import format_table
+from repro.sim.system import SystemResult
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+BENCHMARKS = ("gcc", "mcf")
+
+
+def compare_golden(name: str, rendered: str) -> None:
+    """Assert ``rendered`` matches the checked-in expectation.
+
+    Set ``REPRO_UPDATE_GOLDEN=1`` to (re)write the expectation instead —
+    the paired diff in review is the deliberate sign-off the golden
+    files exist for.
+    """
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+        pytest.skip(f"golden file {name} regenerated")
+    expected = path.read_text(encoding="utf-8")
+    assert rendered == expected, (
+        f"rendered output differs from tests/golden/{name}; if the "
+        "formatting change is intentional, regenerate with "
+        "REPRO_UPDATE_GOLDEN=1 and commit the diff")
+
+
+def make_result(design: str, benchmark: str, index: int) -> SystemResult:
+    """A fully populated, deterministic synthetic result cell."""
+    return SystemResult(
+        design=design,
+        benchmark=benchmark,
+        cycles=100_000 + 7_919 * index,
+        instructions=250_000,
+        l2_requests=20_000,
+        l2_hits=19_000 - 250 * index,
+        l2_misses=1_000 + 250 * index,
+        mean_lookup_latency=10.0 + 1.25 * index,
+        predictable_lookup_fraction=round(0.95 - 0.05 * (index % 4), 2),
+        banks_accessed_per_request=1.0 + 0.25 * (index % 3),
+        link_utilization=round(0.04 * (index % 5 + 1), 2),
+        network_power_w=0.050 + 0.015 * index,
+        stats={"close_hits": 5_000 + 100 * index,
+               "promotions": 800 + 10 * index,
+               "insertions": 400},
+    )
+
+
+def make_grid(designs) -> ExperimentGrid:
+    results = {}
+    index = 0
+    for benchmark in BENCHMARKS:
+        for design in designs:
+            results[(design, benchmark)] = make_result(design, benchmark,
+                                                       index)
+            index += 1
+    return ExperimentGrid(tuple(designs), BENCHMARKS, results)
+
+
+class TestFormatTableGolden:
+    def test_mixed_type_table(self):
+        rendered = format_table(
+            ["design", "banks", "miss ratio", "note"],
+            [["TLC", 32, 0.051234, "paper Table 2"],
+             ["SNUCA2", 32, 0.0498, ""],
+             ["DNUCA", 256, 1 / 3, "wide row to exercise padding"]],
+            title="Golden: format_table")
+        compare_golden("format_table.txt", rendered + "\n")
+
+    def test_untitled_table(self):
+        rendered = format_table(["k", "v"], [["x", 1.5], ["longer", 2]])
+        compare_golden("format_table_untitled.txt", rendered + "\n")
+
+
+class TestGroupedBarChartGolden:
+    def test_reference_line_chart(self):
+        series = {
+            "normalized time": {"gcc": 0.82, "mcf": 0.64, "swim": 1.01},
+        }
+        rendered = grouped_bar_chart(
+            series, ["gcc", "mcf", "swim"], width=32, reference_line=1.0,
+            title="Golden: execution time (SNUCA2 = 1.0)")
+        compare_golden("grouped_bar_chart.txt", rendered + "\n")
+
+    def test_two_series_chart(self):
+        series = {
+            "DNUCA": {"gcc": 14.2, "mcf": 21.0},
+            "TLC": {"gcc": 11.1, "mcf": 12.3},
+        }
+        rendered = grouped_bar_chart(series, ["gcc", "mcf"], width=24,
+                                     value_format="{:.1f}",
+                                     title="Golden: mean lookup latency")
+        compare_golden("grouped_bar_chart_two_series.txt", rendered + "\n")
+
+
+class TestReportGolden:
+    def test_full_report_rendering(self):
+        """The complete markdown report over hand-built grids."""
+        main_grid = make_grid(MAIN_DESIGNS)
+        family_grid = make_grid(("SNUCA2",) + TLC_FAMILY)
+        rendered = build_report(main_grid=main_grid, family_grid=family_grid,
+                                n_refs=1_234)
+        compare_golden("report.md", rendered)
+
+    def test_report_mentions_every_section(self):
+        """Cheap structural guard that survives golden regeneration."""
+        main_grid = make_grid(MAIN_DESIGNS)
+        family_grid = make_grid(("SNUCA2",) + TLC_FAMILY)
+        rendered = build_report(main_grid=main_grid, family_grid=family_grid,
+                                n_refs=1_234)
+        for heading in ("Signal integrity", "Table 2", "Figure 5",
+                        "Figure 6", "Table 6", "Table 7", "Table 8",
+                        "Table 9", "Figure 7", "Figure 8"):
+            assert heading in rendered

@@ -106,12 +106,88 @@ class TestResultCache:
         healed = ResultCache(tmp_path)
         assert execute_cells([cell], cache=healed)[0] == result
         assert healed.hits == 0 and healed.stores == 1
+        assert healed.quarantined == 1
         assert json.loads(path.read_text())["result"]["design"] == "TLC"
 
     def test_cache_accepts_plain_directory_path(self, tmp_path):
         run_grid(designs=("TLC",), benchmarks=("perl",), n_refs=N_REFS,
                  cache=str(tmp_path))
         assert list(tmp_path.rglob("*.json"))
+
+
+class TestCacheIntegrity:
+    """Corrupt entries raise typed errors from load() and quarantine in get()."""
+
+    @pytest.fixture(scope="class")
+    def warm(self, tmp_path_factory):
+        """A cache holding one real entry, plus its cell and key."""
+        root = tmp_path_factory.mktemp("integrity-cache")
+        cell = CellSpec(design="TLC", benchmark="perl", n_refs=N_REFS, seed=7)
+        cache = ResultCache(root)
+        result = execute_cells([cell], cache=cache)[0]
+        return root, cell, cache_key(cell), result
+
+    CORRUPTIONS = {
+        "not_json": lambda text: "{ definitely not json",
+        "truncated": lambda text: text[: len(text) // 2],
+        "wrong_type": lambda text: json.dumps(["a", "list"]),
+        "wrong_format_version": lambda text: json.dumps(
+            dict(json.loads(text), cache_format=999)),
+        "missing_result": lambda text: json.dumps(
+            {k: v for k, v in json.loads(text).items() if k != "result"}),
+        "bit_rot_inside_valid_json": lambda text: json.dumps(
+            dict(json.loads(text),
+                 result=dict(json.loads(text)["result"],
+                             cycles=json.loads(text)["result"]["cycles"] + 1))),
+        "invalid_result_fields": lambda text: json.dumps(
+            dict(json.loads(text), result={"design": "TLC"})),
+        "empty_file": lambda text: "",
+    }
+
+    @pytest.mark.parametrize("corruption", sorted(CORRUPTIONS))
+    def test_load_raises_typed_error(self, warm, tmp_path, corruption):
+        from repro.analysis.storage import CacheCorruptionError
+
+        root, cell, key, _ = warm
+        cache = ResultCache(root)
+        original = cache.path_for(key).read_text()
+        # Work on a copy so parametrized cases don't interfere.
+        copy = ResultCache(tmp_path)
+        path = copy.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.CORRUPTIONS[corruption](original))
+        with pytest.raises(CacheCorruptionError):
+            copy.load(key)
+
+    def test_bit_rot_defeats_field_validation_but_not_digest(self, warm,
+                                                             tmp_path):
+        """The motivating case: valid JSON, valid fields, wrong value."""
+        from repro.analysis.storage import CacheCorruptionError
+
+        root, cell, key, result = warm
+        original = ResultCache(root).path_for(key).read_text()
+        copy = ResultCache(tmp_path)
+        path = copy.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            self.CORRUPTIONS["bit_rot_inside_valid_json"](original))
+        with pytest.raises(CacheCorruptionError, match="integrity digest"):
+            copy.load(key)
+        assert copy.get(key) is None
+        assert copy.quarantined == 1
+        assert (copy.quarantine_dir / path.name).exists()
+
+    def test_missing_entry_is_plain_miss_not_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            cache.load("0" * 64)
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+        assert cache.quarantined == 0
+
+    def test_load_round_trips_valid_entry(self, warm):
+        root, cell, key, result = warm
+        assert ResultCache(root).load(key) == result
 
 
 class TestCacheKey:

@@ -1,0 +1,333 @@
+"""Fault-injection tests for the resilient grid executor.
+
+Every test drives :mod:`repro.analysis.resilience` through a
+deterministic :class:`FaultPlan` — the same hook ``REPRO_FAULT_PLAN``
+exposes to CI smoke runs — and asserts both the recovery behavior
+(results byte-identical to a clean run) and the telemetry trail
+(retries / timeouts / worker deaths visible to the observability
+layer).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis.resilience import (
+    CellFailure,
+    CheckpointJournal,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    RunnerTelemetry,
+)
+from repro.analysis.runner import (
+    CellSpec,
+    ResultCache,
+    cache_key,
+    execute_cells_detailed,
+    run_cell,
+    run_grid,
+)
+from repro.analysis.storage import result_to_dict
+from repro.obs import MetricsRegistry
+
+N_REFS = 800
+
+#: No backoff in tests — retries should be instant.
+FAST = dict(backoff_base_s=0.0)
+
+
+def make_cells(*pairs):
+    return [CellSpec(design=design, benchmark=benchmark, n_refs=N_REFS, seed=7)
+            for design, benchmark in pairs]
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return make_cells(("SNUCA2", "perl"), ("TLC", "perl"))
+
+
+@pytest.fixture(scope="module")
+def baseline(cells):
+    """Clean serial results every faulted run must reproduce exactly."""
+    return [run_cell(cell) for cell in cells]
+
+
+def results_of(outcomes):
+    return [outcome.result for outcome in outcomes]
+
+
+class TestRetry:
+    def test_retry_then_succeed(self, cells, baseline):
+        plan = FaultPlan([FaultSpec(design="TLC", benchmark="perl",
+                                    action="raise", attempts=(1,))])
+        telemetry = RunnerTelemetry()
+        outcomes = execute_cells_detailed(
+            cells, workers=2, policy=RetryPolicy(max_retries=2, **FAST),
+            fault_plan=plan, telemetry=telemetry)
+        assert results_of(outcomes) == baseline
+        assert telemetry["cell_errors"] == 1
+        assert telemetry["retries"] == 1
+        assert telemetry["faults_injected"] == 1
+        faulted = outcomes[cells.index(make_cells(("TLC", "perl"))[0])]
+        assert faulted.attempts == 2
+
+    def test_exhausted_retries_raise_cell_failure(self, cells):
+        plan = FaultPlan([FaultSpec(design="TLC", benchmark="perl",
+                                    action="raise", attempts=(1, 2))])
+        with pytest.raises(CellFailure, match=r"\(TLC, perl\).*2 attempt"):
+            execute_cells_detailed(
+                cells, workers=1, policy=RetryPolicy(max_retries=1, **FAST),
+                fault_plan=plan)
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(max_retries=5, backoff_base_s=1.0,
+                             backoff_factor=2.0, backoff_max_s=3.0)
+        assert [policy.backoff_s(n) for n in (1, 2, 3, 4)] == [1.0, 2.0, 3.0, 3.0]
+        assert RetryPolicy(max_retries=1).backoff_s(1) == 0.0
+
+
+class TestTimeout:
+    def test_timeout_then_reschedule(self, cells, baseline):
+        plan = FaultPlan([FaultSpec(design="TLC", benchmark="perl",
+                                    action="hang", attempts=(1,), hang_s=60)])
+        telemetry = RunnerTelemetry()
+        outcomes = execute_cells_detailed(
+            cells, workers=2,
+            policy=RetryPolicy(max_retries=1, cell_timeout_s=2.0, **FAST),
+            fault_plan=plan, telemetry=telemetry)
+        assert results_of(outcomes) == baseline
+        assert telemetry["timeouts"] == 1
+        assert telemetry["retries"] == 1
+
+    def test_timeout_exhaustion_is_fatal(self, cells):
+        plan = FaultPlan([FaultSpec(design="TLC", benchmark="perl",
+                                    action="hang", attempts=(1,), hang_s=60)])
+        with pytest.raises(CellFailure, match="timeouts"):
+            execute_cells_detailed(
+                cells, workers=2,
+                policy=RetryPolicy(max_retries=0, cell_timeout_s=1.0, **FAST),
+                fault_plan=plan)
+
+
+class TestWorkerDeath:
+    def test_dead_workers_cells_are_rescheduled(self, cells, baseline):
+        plan = FaultPlan([FaultSpec(design="SNUCA2", benchmark="perl",
+                                    action="die", attempts=(1,))])
+        telemetry = RunnerTelemetry()
+        outcomes = execute_cells_detailed(
+            cells, workers=2, policy=RetryPolicy(max_retries=1, **FAST),
+            fault_plan=plan, telemetry=telemetry)
+        assert results_of(outcomes) == baseline
+        assert telemetry["worker_deaths"] == 1
+        assert telemetry["retries"] == 1
+
+
+class TestCheckpointResume:
+    def grid_payload(self, grid):
+        return json.dumps(
+            {f"{d}/{b}": result_to_dict(r)
+             for (d, b), r in sorted(grid.results.items())},
+            sort_keys=True)
+
+    def test_interrupted_grid_resumes_byte_identical(self, tmp_path):
+        designs, benchmarks = ("SNUCA2", "TLC"), ("perl",)
+        clean = run_grid(designs=designs, benchmarks=benchmarks,
+                         n_refs=N_REFS, workers=1)
+        journal_path = tmp_path / "ckpt.jsonl"
+        # First run: the TLC cell dies on every allowed attempt, so the
+        # run aborts after journaling the completed SNUCA2 cell.
+        plan = FaultPlan([FaultSpec(design="TLC", benchmark="perl",
+                                    action="die", attempts=(1, 2))])
+        with pytest.raises(CellFailure):
+            run_grid(designs=designs, benchmarks=benchmarks, n_refs=N_REFS,
+                     workers=1, policy=RetryPolicy(max_retries=1, **FAST),
+                     checkpoint=CheckpointJournal(journal_path),
+                     fault_plan=plan)
+        assert journal_path.exists()
+        # Resume without the fault: only the missing cell is computed.
+        telemetry = RunnerTelemetry()
+        resumed = run_grid(designs=designs, benchmarks=benchmarks,
+                           n_refs=N_REFS, workers=1,
+                           checkpoint=CheckpointJournal(journal_path),
+                           telemetry=telemetry)
+        assert telemetry["checkpoint_replays"] == 1
+        assert telemetry["computed"] == 1
+        assert self.grid_payload(resumed) == self.grid_payload(clean)
+        meta = resumed.cell_meta[("SNUCA2", "perl")]
+        assert meta["from_checkpoint"] is True
+
+    def test_truncated_journal_tail_is_skipped(self, tmp_path, cells,
+                                               baseline):
+        journal_path = tmp_path / "ckpt.jsonl"
+        journal = CheckpointJournal(journal_path)
+        execute_cells_detailed(cells, workers=1, checkpoint=journal)
+        # Simulate a run killed mid-write: chop the last line in half.
+        text = journal_path.read_text()
+        journal_path.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        reloaded = CheckpointJournal(journal_path)
+        entries = reloaded.load()
+        assert len(entries) == 1
+        assert reloaded.skipped_lines == 1
+        telemetry = RunnerTelemetry()
+        outcomes = execute_cells_detailed(cells, workers=1,
+                                          checkpoint=reloaded,
+                                          telemetry=telemetry)
+        assert results_of(outcomes) == baseline
+        assert telemetry["checkpoint_replays"] == 1
+        assert telemetry["computed"] == 1
+
+    def test_cache_hits_are_journaled_for_later_resumes(self, tmp_path,
+                                                        cells, baseline):
+        cache = ResultCache(tmp_path / "cache")
+        execute_cells_detailed(cells, workers=1, cache=cache)
+        journal = CheckpointJournal(tmp_path / "ckpt.jsonl")
+        execute_cells_detailed(cells, workers=1, cache=cache,
+                               checkpoint=journal)
+        # A third run can now resume from the journal alone.
+        telemetry = RunnerTelemetry()
+        outcomes = execute_cells_detailed(
+            cells, workers=1, checkpoint=CheckpointJournal(journal.path),
+            telemetry=telemetry)
+        assert results_of(outcomes) == baseline
+        assert telemetry["checkpoint_replays"] == len(cells)
+        assert telemetry["computed"] == 0
+
+
+class TestFaultPlanFormat:
+    PAYLOAD = {"faults": [{"design": "TLC", "benchmark": "perl",
+                           "action": "die", "attempts": [2]}]}
+
+    def test_round_trip(self):
+        plan = FaultPlan.from_dict(self.PAYLOAD)
+        assert len(plan) == 1
+        cell = make_cells(("TLC", "perl"))[0]
+        assert plan.fault_for(cell, 1) is None
+        assert plan.fault_for(cell, 2).action == "die"
+        assert plan.fault_for(make_cells(("SNUCA2", "perl"))[0], 2) is None
+        assert FaultPlan.from_dict(plan.to_dict()).faults == plan.faults
+
+    def test_from_env_inline_json(self):
+        env = {"REPRO_FAULT_PLAN": json.dumps(self.PAYLOAD)}
+        assert len(FaultPlan.from_env(env)) == 1
+
+    def test_from_env_file_path(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(self.PAYLOAD))
+        assert len(FaultPlan.from_env({"REPRO_FAULT_PLAN": str(path)})) == 1
+
+    def test_from_env_unset(self):
+        assert FaultPlan.from_env({}) is None
+
+    def test_env_plan_routes_runner_through_resilient_path(
+            self, monkeypatch, cells, baseline, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"faults": [{"design": "TLC", "benchmark": "perl",
+                         "action": "raise", "attempts": [3]}]}))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", str(path))
+        # No explicit policy/telemetry: the env alone must activate the
+        # resilient executor (attempt 3 never happens, so this passes).
+        outcomes = execute_cells_detailed(cells, workers=1)
+        assert results_of(outcomes) == baseline
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultSpec(design="TLC", benchmark="perl", action="explode")
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ValueError, match="'faults' list"):
+            FaultPlan.from_dict({"cells": []})
+        with pytest.raises(ValueError, match="bad fault entry"):
+            FaultPlan.from_dict({"faults": [{"design": "TLC"}]})
+
+
+class TestTelemetryObservability:
+    def test_counters_mount_on_metrics_registry(self, cells):
+        telemetry = RunnerTelemetry()
+        registry = MetricsRegistry()
+        telemetry.register(registry)
+        plan = FaultPlan([FaultSpec(design="TLC", benchmark="perl",
+                                    action="raise", attempts=(1,))])
+        execute_cells_detailed(cells, workers=1,
+                               policy=RetryPolicy(max_retries=1, **FAST),
+                               fault_plan=plan, telemetry=telemetry)
+        snapshot = registry.snapshot()
+        assert snapshot["runner.retries"] == 1
+        assert snapshot["runner.cells"] == len(cells)
+        assert snapshot["runner.attempts"] == len(cells) + 1
+
+    def test_as_dict_has_stable_zeroed_keys(self):
+        assert RunnerTelemetry().as_dict() == {
+            "cells": 0, "cache_hits": 0, "checkpoint_replays": 0,
+            "computed": 0, "attempts": 0, "retries": 0, "timeouts": 0,
+            "worker_deaths": 0, "cell_errors": 0, "faults_injected": 0,
+            "quarantined": 0,
+        }
+
+    def test_unknown_count_rejected(self):
+        with pytest.raises(ValueError, match="unknown telemetry count"):
+            RunnerTelemetry().add("explosions")
+
+    def test_quarantine_reaches_manifest_resilience_field(self, tmp_path,
+                                                          cells):
+        from repro.obs import build_manifest, load_manifest, save_manifest
+
+        cache = ResultCache(tmp_path / "cache")
+        execute_cells_detailed(cells, workers=1, cache=cache)
+        corrupt = cache.path_for(cache_key(cells[0]))
+        corrupt.write_text("{ definitely not json")
+        telemetry = RunnerTelemetry()
+        execute_cells_detailed(cells, workers=1,
+                               cache=ResultCache(tmp_path / "cache"),
+                               telemetry=telemetry)
+        assert telemetry["quarantined"] == 1
+        manifest = build_manifest(kind="report", config={}, metrics={},
+                                  wall_time_s=0.0,
+                                  resilience=telemetry.as_dict())
+        path = tmp_path / "manifest.json"
+        save_manifest(path, manifest)
+        assert load_manifest(path).resilience["quarantined"] == 1
+
+
+class TestDeterministicReplay:
+    def test_faulted_run_matches_clean_run_cell_for_cell(self, tmp_path):
+        """The acceptance-criteria shape: kill a worker mid-grid, retry,
+        checkpoint — the saved grid is byte-identical to a clean one."""
+        from repro.analysis.storage import save_grid
+
+        designs, benchmarks = ("SNUCA2", "TLC"), ("perl", "bzip")
+        plan = FaultPlan([FaultSpec(design="TLC", benchmark="bzip",
+                                    action="die", attempts=(1,))])
+        faulted = run_grid(designs=designs, benchmarks=benchmarks,
+                           n_refs=N_REFS, workers=2,
+                           policy=RetryPolicy(max_retries=2, **FAST),
+                           checkpoint=CheckpointJournal(tmp_path / "ck.jsonl"),
+                           fault_plan=plan)
+        clean = run_grid(designs=designs, benchmarks=benchmarks,
+                         n_refs=N_REFS, workers=1)
+        faulted_path = tmp_path / "faulted.json"
+        clean_path = tmp_path / "clean.json"
+        save_grid(str(faulted_path), faulted)
+        save_grid(str(clean_path), clean)
+        assert faulted_path.read_bytes() == clean_path.read_bytes()
+
+        # Resume purely from the journal (every cell replays, nothing
+        # recomputes) — the round trip through JSONL must not perturb
+        # serialization either (e.g. by reordering stats keys).
+        resumed = run_grid(designs=designs, benchmarks=benchmarks,
+                           n_refs=N_REFS, workers=2,
+                           policy=RetryPolicy(max_retries=2, **FAST),
+                           checkpoint=CheckpointJournal(tmp_path / "ck.jsonl"))
+        resumed_path = tmp_path / "resumed.json"
+        save_grid(str(resumed_path), resumed)
+        assert resumed_path.read_bytes() == clean_path.read_bytes()
+
+
+class TestCellSpecReplace:
+    def test_outcome_fields_default_for_fast_path(self, cells):
+        outcome = execute_cells_detailed(cells[:1], workers=1)[0]
+        assert outcome.attempts == 1
+        assert outcome.from_checkpoint is False
+        assert dataclasses.fields(type(outcome))  # stays a dataclass
