@@ -27,6 +27,10 @@ class AddressMap:
     interleaving, when used, consumes the low bits of the set index so
     that consecutive blocks map to different banks (the static NUCA /
     TLC mapping).
+
+    The derived shift/mask fields are computed once at construction —
+    the decomposition runs on every simulated access, so the bit-length
+    arithmetic must not be repeated per call.
     """
 
     block_bytes: int
@@ -38,36 +42,59 @@ class AddressMap:
             value = getattr(self, name)
             if not _is_power_of_two(value):
                 raise ValueError(f"{name} must be a power of two, got {value}")
+        # Frozen dataclass: the cached fields go in through the back door
+        # exactly once.  They are derived, not identity, so equality and
+        # asdict() still see only the three declared fields.
+        object.__setattr__(self, "_offset_bits",
+                           self.block_bytes.bit_length() - 1)
+        object.__setattr__(self, "_set_bits", self.num_sets.bit_length() - 1)
+        object.__setattr__(self, "_bank_bits", self.banks.bit_length() - 1)
+        object.__setattr__(self, "_set_mask", self.num_sets - 1)
+        object.__setattr__(self, "_bank_mask", self.banks - 1)
+        object.__setattr__(self, "_tag_shift",
+                           self._bank_bits + self._set_bits)
 
     @property
     def offset_bits(self) -> int:
-        return self.block_bytes.bit_length() - 1
+        return self._offset_bits
 
     @property
     def set_bits(self) -> int:
-        return self.num_sets.bit_length() - 1
+        return self._set_bits
 
     @property
     def bank_bits(self) -> int:
-        return self.banks.bit_length() - 1
+        return self._bank_bits
 
     def block(self, addr: int) -> int:
         """Block number (address with the offset stripped)."""
-        return addr >> self.offset_bits
+        return addr >> self._offset_bits
 
     def set_index(self, addr: int) -> int:
         """Set index within one bank (bank bits excluded)."""
-        return (self.block(addr) >> self.bank_bits) & (self.num_sets - 1)
+        return (addr >> self._offset_bits >> self._bank_bits) & self._set_mask
 
     def bank_index(self, addr: int) -> int:
         """Which bank this block interleaves to."""
-        return self.block(addr) & (self.banks - 1)
+        return (addr >> self._offset_bits) & self._bank_mask
 
     def tag(self, addr: int) -> int:
         """Tag bits: everything above bank + set index."""
-        return self.block(addr) >> (self.bank_bits + self.set_bits)
+        return addr >> self._offset_bits >> self._tag_shift
+
+    def decompose(self, addr: int) -> "tuple[int, int, int]":
+        """``(bank_index, set_index, tag)`` in one call.
+
+        The access paths decompose every address exactly this way; doing
+        it in one method shifts the block number once instead of three
+        times.
+        """
+        block = addr >> self._offset_bits
+        return (block & self._bank_mask,
+                (block >> self._bank_bits) & self._set_mask,
+                block >> self._tag_shift)
 
     def rebuild(self, tag: int, set_index: int, bank_index: int = 0) -> int:
         """Inverse of the decomposition: a canonical byte address."""
-        block = (tag << (self.bank_bits + self.set_bits)) | (set_index << self.bank_bits) | bank_index
-        return block << self.offset_bits
+        block = (tag << (self._bank_bits + self._set_bits)) | (set_index << self._bank_bits) | bank_index
+        return block << self._offset_bits

@@ -14,7 +14,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
-from repro.cache.replacement import make_policy
+from repro.cache.replacement import make_policy, policy_factory
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,14 +30,12 @@ class AccessResult:
 class _Set:
     __slots__ = ("tags", "dirty", "policy")
 
-    def __init__(self, ways: int, policy_name: str, seed: int) -> None:
+    def __init__(self, ways: int, factory, seeded: bool, seed: int) -> None:
         self.tags: List[Optional[int]] = [None] * ways
         self.dirty: List[bool] = [False] * ways
-        if policy_name == "random":
-            self.policy = make_policy(policy_name, ways)
+        self.policy = factory(ways)
+        if seeded:
             self.policy._rng.seed(seed)  # deterministic per set
-        else:
-            self.policy = make_policy(policy_name, ways)
 
 
 class CacheBank:
@@ -61,6 +59,11 @@ class CacheBank:
         self.ways = ways
         self.policy_name = policy
         make_policy(policy, ways)  # validate the name eagerly
+        # Sets are allocated lazily by the thousand during pre-warm, so
+        # the per-set construction path resolves the policy class once
+        # here rather than through the factory's name lookup every time.
+        self._policy_factory = policy_factory(policy)
+        self._policy_seeded = policy == "random"
         self._sets: Dict[int, _Set] = {}
 
     def _set(self, index: int) -> _Set:
@@ -68,7 +71,8 @@ class CacheBank:
             raise IndexError(f"set index {index} out of range [0, {self.num_sets})")
         entry = self._sets.get(index)
         if entry is None:
-            entry = _Set(self.ways, self.policy_name, seed=index)
+            entry = _Set(self.ways, self._policy_factory,
+                         self._policy_seeded, seed=index)
             self._sets[index] = entry
         return entry
 
@@ -99,9 +103,12 @@ class CacheBank:
     # -- state-changing accesses ----------------------------------------
     def lookup(self, set_index: int, tag: int, write: bool = False) -> AccessResult:
         """Look up ``tag``; on a hit, update replacement state (and dirty)."""
-        entry = self._set(set_index)
-        way = self.probe(set_index, tag)
-        if way is None:
+        entry = self._sets.get(set_index)
+        if entry is None:
+            entry = self._set(set_index)  # validates the index, creates
+        try:
+            way = entry.tags.index(tag)
+        except ValueError:
             return AccessResult(hit=False)
         entry.policy.touch(way)
         if write:
@@ -130,6 +137,33 @@ class CacheBank:
         return AccessResult(
             hit=False, way=way, evicted_tag=evicted_tag, evicted_dirty=evicted_dirty
         )
+
+    def install(self, set_index: int, tag: int, dirty: bool = False) -> None:
+        """Pre-warm fast path: probe + insert + recency touch in one step.
+
+        Equivalent to the designs' historical install sequence —
+        ``probe() is None`` then ``insert(...)`` then ``lookup(...)`` —
+        with a single set resolution.  The policy sees exactly the same
+        call sequence (``insert(way)`` then ``touch(way)``), so the
+        functional state after bulk pre-warming is bit-identical under
+        every replacement policy.  Already-present tags are left
+        untouched, exactly like the historical sequence.
+        """
+        entry = self._sets.get(set_index)
+        if entry is None:
+            entry = self._set(set_index)  # validates the index, creates
+        tags = entry.tags
+        if tag in tags:
+            return
+        try:
+            way = tags.index(None)
+        except ValueError:
+            way = entry.policy.victim()
+        tags[way] = tag
+        entry.dirty[way] = dirty
+        policy = entry.policy
+        policy.insert(way)
+        policy.touch(way)
 
     def invalidate(self, set_index: int, tag: int) -> Tuple[bool, bool]:
         """Remove ``tag`` if present.  Returns (was_present, was_dirty)."""

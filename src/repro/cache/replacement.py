@@ -109,12 +109,21 @@ _POLICIES: Dict[str, Callable[[int], object]] = {
 }
 
 
-def make_policy(name: str, ways: int):
-    """Construct a replacement policy by name (``lru``/``frequency``/``random``)."""
+def policy_factory(name: str) -> Callable[[int], object]:
+    """The constructor for policy ``name`` (resolved once, called per set).
+
+    Banks allocate sets lazily by the tens of thousands during cache
+    pre-warming; resolving the policy name outside that loop keeps the
+    per-set cost to the construction itself.
+    """
     try:
-        factory = _POLICIES[name]
+        return _POLICIES[name]
     except KeyError:
         raise ValueError(
             f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
         ) from None
-    return factory(ways)
+
+
+def make_policy(name: str, ways: int):
+    """Construct a replacement policy by name (``lru``/``frequency``/``random``)."""
+    return policy_factory(name)(ways)

@@ -422,6 +422,90 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from repro.analysis.perf import (
+        bench_document,
+        compare_benchmarks,
+        load_benchmarks,
+        run_suite,
+        save_benchmarks,
+    )
+    from repro.obs.manifest import code_version_stamp
+
+    results, pinned = run_suite(
+        quick=args.quick, name_filter=args.filter, reps=args.reps,
+        pin=not args.no_pin,
+        progress=lambda name: print(f"  bench {name} ...", file=sys.stderr))
+    if not results:
+        print(f"error: no benchmark matches filter {args.filter!r}; "
+              f"see `repro perf --list`", file=sys.stderr)
+        return 2
+    document = bench_document(results, code_version=code_version_stamp(),
+                              pinned=pinned, quick=args.quick)
+
+    rows = []
+    for name in sorted(results):
+        result = results[name]
+        ops = result.meta.get("ops_per_sec")
+        rows.append([name, f"{result.median_ns / 1e6:.3f}",
+                     f"{result.mad_ns / 1e6:.3f}", result.reps,
+                     f"{ops:,.0f}" if ops else "-"])
+    mode = "quick" if args.quick else "full"
+    print(format_table(
+        ["benchmark", "median (ms)", "MAD (ms)", "reps", "ops/sec"],
+        rows, title=f"Microbenchmarks ({mode} mode, "
+                    f"{'pinned' if pinned else 'unpinned'})"))
+
+    if args.save:
+        written = save_benchmarks(args.save, document)
+        print(f"benchmarks written to {written}")
+
+    if args.compare:
+        try:
+            baseline = load_benchmarks(args.compare)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load baseline: {error}", file=sys.stderr)
+            return 2
+        try:
+            comparisons, missing = compare_benchmarks(
+                document, baseline, fail_above_pct=args.fail_above,
+                normalize=args.normalize)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        compare_rows = [
+            [c.name, f"{c.baseline_ns / 1e6:.3f}",
+             f"{c.current_ns / 1e6:.3f}", f"{c.ratio:.2f}x",
+             "REGRESSED" if c.regressed else "ok"]
+            for c in comparisons
+        ]
+        norm = " (calibration-normalized)" if args.normalize else ""
+        print()
+        print(format_table(
+            ["benchmark", "baseline (ms)", "current (ms)", "ratio", "verdict"],
+            compare_rows,
+            title=f"vs {args.compare}, fail above "
+                  f"+{args.fail_above:.0f}%{norm}"))
+        for name in missing:
+            print(f"warning: baseline benchmark {name!r} was not run",
+                  file=sys.stderr)
+        regressions = [c.name for c in comparisons if c.regressed]
+        if regressions:
+            print(f"PERF REGRESSION in: {', '.join(regressions)}",
+                  file=sys.stderr)
+            return 1
+        print("no perf regressions")
+    return 0
+
+
+def _cmd_perf_list(args) -> int:
+    from repro.analysis.perf import benchmark_names
+
+    for name in benchmark_names():
+        print(name)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -522,7 +606,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(report)
     report.set_defaults(func=_cmd_report)
 
+    perf = sub.add_parser(
+        "perf", help="run the microbenchmark suite; optionally compare "
+                     "against a BENCH baseline")
+    perf.add_argument("--quick", action="store_true",
+                      help="smaller workloads, fewer reps (the CI mode)")
+    perf.add_argument("--filter", metavar="SUBSTR",
+                      help="only run benchmarks whose name contains SUBSTR")
+    perf.add_argument("--reps", type=int, default=None, metavar="N",
+                      help="override the repetition count")
+    perf.add_argument("--no-pin", action="store_true",
+                      help="do not pin the process to one CPU")
+    perf.add_argument("--save", metavar="FILE",
+                      help="write the BENCH JSON document (a directory "
+                           "gets the conventional BENCH_<rev>.json name)")
+    perf.add_argument("--compare", metavar="BASELINE",
+                      help="compare against a BENCH baseline document; "
+                           "exits 1 on regression")
+    perf.add_argument("--fail-above", type=float, default=40.0,
+                      metavar="PCT",
+                      help="regression threshold in percent slowdown "
+                           "(default: 40)")
+    perf.add_argument("--normalize", action="store_true",
+                      help="rescale by the calibration.spin benchmark "
+                           "before comparing (cross-machine baselines)")
+    perf.add_argument("--list", dest="list_only", action="store_true",
+                      help="list benchmark names and exit")
+    perf.set_defaults(func=_cmd_perf_dispatch)
+
     return parser
+
+
+def _cmd_perf_dispatch(args) -> int:
+    if args.list_only:
+        return _cmd_perf_list(args)
+    return _cmd_perf(args)
 
 
 def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:

@@ -57,6 +57,15 @@ class TLCController:
             self._energy_per_bit.append(
                 transmission_line_energy_per_bit(line.z0, tech)
             )
+        # Latency tables: the wire-delay split and uncontended latency
+        # are pure functions of the pair index and the config, asked for
+        # on every access — compute them once instead of per request.
+        rt_delays = config.controller_rt_delays
+        self._request_delays = [rt_delays[pair] // 2 for pair in range(pairs)]
+        self._response_delays = [rt_delays[pair] - rt_delays[pair] // 2
+                                 for pair in range(pairs)]
+        self._uncontended = [2 + config.bank_access_cycles + rt_delays[pair]
+                             for pair in range(pairs)]
 
     def _pair_line_lengths(self) -> List[float]:
         """Per-pair routed line lengths, from the computed floorplan.
@@ -83,23 +92,22 @@ class TLCController:
     # -- wire-delay split --------------------------------------------------
     def request_delay(self, pair: int) -> int:
         """Controller-internal wire cycles on the request path."""
-        return self.config.controller_rt_delays[pair] // 2
+        return self._request_delays[pair]
 
     def response_delay(self, pair: int) -> int:
         """Controller-internal wire cycles on the response path."""
-        rt = self.config.controller_rt_delays[pair]
-        return rt - rt // 2
+        return self._response_delays[pair]
 
     def uncontended_latency(self, pair: int) -> int:
         """Read-hit latency with idle links and bank (Table 2, column 7)."""
-        return 2 + self.config.bank_access_cycles + self.config.controller_rt_delays[pair]
+        return self._uncontended[pair]
 
     # -- transfers ----------------------------------------------------------
     def send_request(self, pair: int, time: int, bits: int,
                      contend: bool = True) -> Tuple[Transfer, float]:
         """Controller -> bank.  Returns the transfer and its energy (J)."""
         transfer = self.request_links[pair].send(
-            time + self.request_delay(pair), bits, contend)
+            time + self._request_delays[pair], bits, contend)
         return transfer, bits * self._energy_per_bit[pair]
 
     def send_response(self, pair: int, time: int, bits: int,
@@ -110,7 +118,7 @@ class TLCController:
         critical word lands at the controller edge.
         """
         transfer = self.response_links[pair].send(time, bits, contend)
-        arrival = transfer.first_arrival + self.response_delay(pair)
+        arrival = transfer.first_arrival + self._response_delays[pair]
         return transfer, arrival, bits * self._energy_per_bit[pair]
 
     def utilization(self, elapsed_cycles: int) -> float:

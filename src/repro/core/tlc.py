@@ -76,10 +76,8 @@ class TransmissionLineCache(L2Design):
 
     # -- the access path ----------------------------------------------------
     def access(self, addr: int, time: int, write: bool = False) -> L2Outcome:
-        bank_idx = self.addr_map.bank_index(addr)
+        bank_idx, set_index, tag = self.addr_map.decompose(addr)
         pair = bank_idx // 2
-        set_index = self.addr_map.set_index(addr)
-        tag = self.addr_map.tag(addr)
         bank = self.banks[bank_idx]
 
         if write:
@@ -169,14 +167,11 @@ class TransmissionLineCache(L2Design):
         return self.controller.utilization(elapsed_cycles)
 
     def install(self, addr: int, dirty: bool = False) -> None:
-        bank = self.banks[self.addr_map.bank_index(addr)]
-        set_index = self.addr_map.set_index(addr)
-        tag = self.addr_map.tag(addr)
-        if bank.probe(set_index, tag) is None:
-            bank.insert(set_index, tag, dirty=dirty)
-            # A pre-warmed block was, by definition, referenced: touch it
-            # so recency-ordered installs hold under any insertion policy.
-            bank.lookup(set_index, tag)
+        bank_idx, set_index, tag = self.addr_map.decompose(addr)
+        # Insert-then-touch in one bank call: a pre-warmed block was, by
+        # definition, referenced, so recency-ordered installs hold under
+        # any insertion policy (see CacheBank.install).
+        self.banks[bank_idx].install(set_index, tag, dirty=dirty)
 
     def _reset_stats_extra(self) -> None:
         self.controller.reset_counters()

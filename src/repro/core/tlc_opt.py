@@ -78,6 +78,15 @@ class OptimizedTLC(L2Design):
         self.controller = TLCController(config, tech)
         self._bank_busy_until = [0] * config.banks
         self._data_slice_bits = BLOCK_BITS // self.stripe_banks
+        # Stripe geometry and group round-trip delay are pure functions
+        # of the group index, used on every access — tabulate them once.
+        self._group_banks = [self.banks_for_group(group)
+                             for group in range(self.num_groups)]
+        self._group_rt_delays = [
+            max(config.controller_rt_delays[b // 2]
+                for b in self._group_banks[group])
+            for group in range(self.num_groups)
+        ]
         self.controller.register_metrics(self.metrics.scope("link"))
         for index, group in enumerate(self.groups):
             group.register_metrics(self.metrics.scope(f"l2.group{index:02d}"))
@@ -92,8 +101,7 @@ class OptimizedTLC(L2Design):
         return 2 + self.config.bank_access_cycles + self._group_rt_delay(group)
 
     def _group_rt_delay(self, group: int) -> int:
-        return max(self.config.controller_rt_delays[b // 2]
-                   for b in self.banks_for_group(group))
+        return self._group_rt_delays[group]
 
     # -- timing helpers --------------------------------------------------------
     def _bank_access(self, bank: int, ready: int, contend: bool = True) -> int:
@@ -108,7 +116,7 @@ class OptimizedTLC(L2Design):
                  contend: bool = True) -> List[Tuple[int, int]]:
         """Send a request to every stripe bank; returns (bank, done) pairs."""
         results = []
-        for bank in self.banks_for_group(group):
+        for bank in self._group_banks[group]:
             transfer, energy = self.controller.send_request(
                 bank // 2, time, request_bits, contend)
             self._network_energy_acc += energy
@@ -139,9 +147,7 @@ class OptimizedTLC(L2Design):
 
     # -- the access path ----------------------------------------------------------
     def access(self, addr: int, time: int, write: bool = False) -> L2Outcome:
-        group_idx = self.addr_map.bank_index(addr)
-        set_index = self.addr_map.set_index(addr)
-        tag = self.addr_map.tag(addr)
+        group_idx, set_index, tag = self.addr_map.decompose(addr)
         group = self.groups[group_idx]
 
         if write:
@@ -222,7 +228,7 @@ class OptimizedTLC(L2Design):
             # Victim slices stream back from every stripe bank to memory.
             response_bits = self._data_slice_bits + RESPONSE_OVERHEAD_BITS
             arrival = self._gather(
-                [(b, time) for b in self.banks_for_group(group_idx)],
+                [(b, time) for b in self._group_banks[group_idx]],
                 response_bits, contend=False)
             self.memory.write(arrival)
             self.stats.add("writebacks")
@@ -231,14 +237,9 @@ class OptimizedTLC(L2Design):
         return self.controller.utilization(elapsed_cycles)
 
     def install(self, addr: int, dirty: bool = False) -> None:
-        group = self.groups[self.addr_map.bank_index(addr)]
-        set_index = self.addr_map.set_index(addr)
-        tag = self.addr_map.tag(addr)
-        if group.probe(set_index, tag) is None:
-            group.insert(set_index, tag, dirty=dirty)
-            # A pre-warmed block was, by definition, referenced: touch it
-            # so recency-ordered installs hold under any insertion policy.
-            group.lookup(set_index, tag)
+        group_idx, set_index, tag = self.addr_map.decompose(addr)
+        # Insert-then-touch in one bank call (see CacheBank.install).
+        self.groups[group_idx].install(set_index, tag, dirty=dirty)
 
     def _reset_stats_extra(self) -> None:
         self.controller.reset_counters()

@@ -19,16 +19,19 @@ cycle for every Table 1 transmission line (see
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Optional
+from typing import Dict, NamedTuple, Optional
 
 from repro.interconnect.message import flits_for_bits
 from repro.sim.stats import UtilizationMeter
 
 
-@dataclasses.dataclass(frozen=True)
-class Transfer:
-    """Timing of one message transfer over a link."""
+class Transfer(NamedTuple):
+    """Timing of one message transfer over a link.
+
+    A NamedTuple rather than a dataclass: one is constructed per
+    simulated message, and tuple construction is several times cheaper
+    than frozen-dataclass field assignment.
+    """
 
     start: int
     first_arrival: int
@@ -54,6 +57,9 @@ class Link:
         self.busy_until = 0
         self.bits_sent = 0
         self.transfers = 0
+        # Messages come in a handful of fixed sizes (request, ack, block,
+        # request+block), so the flit count per size is computed once.
+        self._flits_cache: Dict[int, int] = {}
 
     def send(self, time: int, message_bits: int, contend: bool = True) -> Transfer:
         """Send a message; returns its timing including queueing delay.
@@ -65,7 +71,10 @@ class Link:
         demand requests — the scalar busy-until model would otherwise
         charge requests that arrive first for traffic that arrives later.
         """
-        flits = flits_for_bits(message_bits, self.width_bits)
+        flits = self._flits_cache.get(message_bits)
+        if flits is None:
+            flits = flits_for_bits(message_bits, self.width_bits)
+            self._flits_cache[message_bits] = flits
         if contend:
             start = max(time, self.busy_until)
             self.busy_until = start + flits

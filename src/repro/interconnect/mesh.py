@@ -16,8 +16,7 @@ paper's "contention in the routing network to and from the banks".
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict, List, NamedTuple, Tuple
 
 from repro.interconnect.link import Link
 from repro.interconnect.message import flits_for_bits
@@ -26,9 +25,13 @@ from repro.sim.stats import UtilizationMeter
 LinkKey = Tuple[str, int, int, int]  # (kind, column, index, direction)
 
 
-@dataclasses.dataclass(frozen=True)
-class MeshPath:
-    """A routed path plus the timing of a transfer along it."""
+class MeshPath(NamedTuple):
+    """A routed path plus the timing of a transfer along it.
+
+    A NamedTuple for the same reason as
+    :class:`~repro.interconnect.link.Transfer`: one is built per mesh
+    message, on the innermost simulation path.
+    """
 
     links: Tuple[LinkKey, ...]
     start: int
@@ -58,6 +61,12 @@ class MeshNetwork:
         # Directed links: horizontal edge links + vertical column links.
         self.meter = UtilizationMeter(resources=self._count_links())
         self._links: Dict[LinkKey, Link] = {}
+        # Routing is a pure function of the endpoint, and every message
+        # size maps to a fixed flit count; both are asked for on every
+        # simulated transfer, so both are computed once and memoized.
+        self._route_cache: Dict[Tuple[int, int, bool],
+                                Tuple[Tuple[LinkKey, ...], List[Link]]] = {}
+        self._flits_cache: Dict[int, int] = {}
         self.bit_hops = 0
         self.switch_traversals = 0
 
@@ -121,14 +130,24 @@ class MeshNetwork:
         future) consumes bandwidth for accounting but does not reserve
         links against earlier demand traffic — see ``Link.send``.
         """
-        links = self._route(column, position, outbound)
-        flits = flits_for_bits(message_bits, self.flit_bits)
+        route = self._route_cache.get((column, position, outbound))
+        if route is None:
+            keys = self._route(column, position, outbound)
+            route = (keys, [self._link(key) for key in keys])
+            self._route_cache[(column, position, outbound)] = route
+        links, link_objects = route
+        flits = self._flits_cache.get(message_bits)
+        if flits is None:
+            flits = flits_for_bits(message_bits, self.flit_bits)
+            self._flits_cache[message_bits] = flits
         head = time
         start = time
-        for i, key in enumerate(links):
-            transfer = self._link(key).send(head, message_bits, contend)
-            if i == 0:
+        first = True
+        for link in link_objects:
+            transfer = link.send(head, message_bits, contend)
+            if first:
                 start = transfer.start
+                first = False
             head = transfer.first_arrival
         self.bit_hops += message_bits * len(links)
         self.switch_traversals += len(links)

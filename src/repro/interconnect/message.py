@@ -10,8 +10,6 @@ multiple (Table 2's 44-line design).
 
 from __future__ import annotations
 
-import math
-
 #: Size of a request/command/ack message in bits (address + command).
 REQUEST_BITS = 64
 
@@ -23,9 +21,13 @@ BLOCK_BYTES = 64
 
 
 def flits_for_bits(message_bits: int, link_width_bits: int) -> int:
-    """Number of link-width flits needed to carry ``message_bits``."""
+    """Number of link-width flits needed to carry ``message_bits``.
+
+    Pure integer ceiling division: exact for any operand size (a float
+    ``ceil`` is not) and called once per simulated transfer.
+    """
     if message_bits <= 0:
         raise ValueError("message size must be positive")
     if link_width_bits <= 0:
         raise ValueError("link width must be positive")
-    return math.ceil(message_bits / link_width_bits)
+    return -(-message_bits // link_width_bits)

@@ -85,6 +85,14 @@ class DynamicNUCA(L2Design):
         self._bank_busy_until = [
             [0] * self.positions for _ in range(self.banksets)
         ]
+        # Uncontended latency is a pure function of (column, position)
+        # and the config, asked for on every read hit — tabulate it once.
+        self._uncontended = [
+            [self.mesh.uncontended_latency(column, position,
+                                           config.bank_access_cycles)
+             for position in range(self.positions)]
+            for column in range(self.banksets)
+        ]
         # Fast-path state for bulk pre-warming: per-(column, set) tags
         # installed so far, valid only until the first timed access.
         self._install_seen: Optional[dict] = {}
@@ -116,15 +124,12 @@ class DynamicNUCA(L2Design):
         return done
 
     def uncontended_latency_of(self, column: int, position: int) -> int:
-        return self.mesh.uncontended_latency(column, position,
-                                             self.config.bank_access_cycles)
+        return self._uncontended[column][position]
 
     # -- the access path ----------------------------------------------------
     def access(self, addr: int, time: int, write: bool = False) -> L2Outcome:
         self._install_seen = None  # timed accesses invalidate the fast path
-        column = self.addr_map.bank_index(addr)
-        set_index = self.addr_map.set_index(addr)
-        tag = self.addr_map.tag(addr)
+        column, set_index, tag = self.addr_map.decompose(addr)
         outcome, banks_accessed = self._lookup(column, set_index, tag, time, write)
         self._record(outcome, banks_accessed)
         return outcome
@@ -258,7 +263,7 @@ class DynamicNUCA(L2Design):
         else:
             response = self.mesh.send(column, position, bank_done, BLOCK_BITS, False)
             latency = response.first_arrival - time
-            expected = self.uncontended_latency_of(column, position)
+            expected = self._uncontended[column][position]
             predictable = close_hit and latency == expected
             outcome = L2Outcome(response.first_arrival, True, latency, predictable)
         if position > 0:
@@ -340,9 +345,7 @@ class DynamicNUCA(L2Design):
         claim the positions nearest the controller — the distribution
         generational promotion converges to after a long warm-up.
         """
-        column = self.addr_map.bank_index(addr)
-        set_index = self.addr_map.set_index(addr)
-        tag = self.addr_map.tag(addr)
+        column, set_index, tag = self.addr_map.decompose(addr)
         pta = self.partial_tags[column]
         if self._install_seen is not None and self.config.associativity == 1:
             # Bulk pre-warm fast path: no timed access has run yet, so

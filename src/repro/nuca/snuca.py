@@ -46,6 +46,15 @@ class StaticNUCA(L2Design):
                                 config.mesh_flit_bits, config.mesh_hop_latency,
                                 config.mesh_hop_length_m)
         self._bank_busy_until = [0] * config.banks
+        # Per-bank geometry and uncontended latency are pure functions of
+        # the config; tabulate them once instead of re-deriving per access.
+        self._grids = [self._grid(bank) for bank in range(config.banks)]
+        self._uncontended = [
+            config.controller_overhead
+            + self.mesh.uncontended_latency(column, position,
+                                            config.bank_access_cycles)
+            for column, position in self._grids
+        ]
         self.mesh.register_metrics(self.metrics.scope("mesh"))
         for index, bank in enumerate(self.banks):
             bank.register_metrics(self.metrics.scope(f"l2.bank{index:02d}"))
@@ -55,10 +64,7 @@ class StaticNUCA(L2Design):
         return bank_idx % self.config.mesh_columns, bank_idx // self.config.mesh_columns
 
     def uncontended_latency(self, addr: int) -> int:
-        column, position = self._grid(self.addr_map.bank_index(addr))
-        return (self.config.controller_overhead
-                + self.mesh.uncontended_latency(column, position,
-                                                self.config.bank_access_cycles))
+        return self._uncontended[self.addr_map.bank_index(addr)]
 
     def _bank_access(self, bank: int, ready: int, contend: bool = True) -> int:
         if not contend:
@@ -70,10 +76,8 @@ class StaticNUCA(L2Design):
 
     # -- the access path --------------------------------------------------------
     def access(self, addr: int, time: int, write: bool = False) -> L2Outcome:
-        bank_idx = self.addr_map.bank_index(addr)
-        column, position = self._grid(bank_idx)
-        set_index = self.addr_map.set_index(addr)
-        tag = self.addr_map.tag(addr)
+        bank_idx, set_index, tag = self.addr_map.decompose(addr)
+        column, position = self._grids[bank_idx]
         bank = self.banks[bank_idx]
         t_inject = time + self.config.controller_overhead
 
@@ -90,7 +94,7 @@ class StaticNUCA(L2Design):
               set_index: int, tag: int, time: int, t_inject: int) -> L2Outcome:
         request = self.mesh.send(column, position, t_inject, REQUEST_BITS, True)
         done = self._bank_access(bank_idx, request.first_arrival)
-        expected = self.uncontended_latency_of(column, position)
+        expected = self._uncontended[bank_idx]
         if bank.lookup(set_index, tag).hit:
             response = self.mesh.send(column, position, done, BLOCK_BITS, False)
             latency = response.first_arrival - time
@@ -137,14 +141,9 @@ class StaticNUCA(L2Design):
             self.stats.add("writebacks")
 
     def install(self, addr: int, dirty: bool = False) -> None:
-        bank = self.banks[self.addr_map.bank_index(addr)]
-        set_index = self.addr_map.set_index(addr)
-        tag = self.addr_map.tag(addr)
-        if bank.probe(set_index, tag) is None:
-            bank.insert(set_index, tag, dirty=dirty)
-            # A pre-warmed block was, by definition, referenced: touch it
-            # so recency-ordered installs hold under any insertion policy.
-            bank.lookup(set_index, tag)
+        bank_idx, set_index, tag = self.addr_map.decompose(addr)
+        # Insert-then-touch in one bank call (see CacheBank.install).
+        self.banks[bank_idx].install(set_index, tag, dirty=dirty)
 
     # -- reporting -----------------------------------------------------------
     def link_utilization(self, elapsed_cycles: int) -> float:

@@ -12,7 +12,8 @@ models on top of the substrate.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, List, Tuple
 
 
 class Engine:
@@ -20,13 +21,24 @@ class Engine:
 
     ``tracer`` (an :class:`~repro.obs.trace.EventTracer`) opts into
     ``engine.schedule`` / ``engine.dispatch`` events; with the default
-    ``None`` every hook is a single predicted-not-taken branch.
+    ``None`` every hook is a single predicted-not-taken branch, and
+    :meth:`run` takes a fast path that dispatches every event sharing a
+    timestamp in one batch and keeps zero-delay callbacks out of the
+    heap entirely.  Event ordering — by (time, scheduling sequence) — is
+    identical on both paths.  Attach a tracer before calling :meth:`run`;
+    attaching one from inside a running callback is not supported.
     """
 
     def __init__(self, tracer=None) -> None:
         self._now = 0
         self._seq = 0
         self._queue: List[Tuple[int, int, Callable[[], Any]]] = []
+        # Zero-delay callbacks scheduled while running bypass the heap:
+        # they can only fire at the current time, so a FIFO of
+        # (seq, callback) preserves the exact dispatch order without
+        # paying heap churn for the common immediate-completion pattern.
+        self._immediate: Deque[Tuple[int, Callable[[], Any]]] = deque()
+        self._running = False
         self.tracer = tracer
 
     @property
@@ -38,6 +50,10 @@ class Engine:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
+        if delay == 0 and self._running:
+            self._immediate.append((self._seq, callback))
+            self._seq += 1
+            return
         self.schedule_at(self._now + delay, callback)
 
     def schedule_at(self, time: int, callback: Callable[[], Any]) -> None:
@@ -59,6 +75,40 @@ class Engine:
         the next event would fire after ``until`` (the clock is then
         advanced to ``until``).  Returns the final simulation time.
         """
+        if self.tracer is not None:
+            return self._run_traced(until)
+        queue = self._queue
+        immediate = self._immediate
+        pop = heapq.heappop
+        self._running = True
+        try:
+            while queue:
+                time = queue[0][0]
+                if until is not None and time > until:
+                    self._now = until
+                    return self._now
+                # Batch-dispatch every event sharing this timestamp.
+                # Same-time events scheduled by these callbacks carry
+                # higher sequence numbers, so draining the heap head
+                # repeatedly preserves exact (time, seq) order; a
+                # zero-delay callback runs as soon as every same-time
+                # event with a lower sequence number has run.
+                self._now = time
+                while queue and queue[0][0] == time:
+                    callback = pop(queue)[2]
+                    callback()
+                    while immediate and not (
+                            queue and queue[0][0] == time
+                            and queue[0][1] < immediate[0][0]):
+                        immediate.popleft()[1]()
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def _run_traced(self, until: int | None) -> int:
+        """The traced run loop: one ``engine.dispatch`` per event."""
         while self._queue:
             time, _seq, callback = self._queue[0]
             if until is not None and time > until:
@@ -66,9 +116,8 @@ class Engine:
                 return self._now
             heapq.heappop(self._queue)
             self._now = time
-            if self.tracer is not None:
-                self.tracer.emit("engine.dispatch", time=time,
-                                 pending=len(self._queue))
+            self.tracer.emit("engine.dispatch", time=time,
+                             pending=len(self._queue))
             callback()
         if until is not None and until > self._now:
             self._now = until
@@ -89,7 +138,21 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of events waiting in the queue."""
-        return len(self._queue)
+        return len(self._queue) + len(self._immediate)
+
+    def reset(self) -> None:
+        """Return the engine to time zero with an empty queue.
+
+        Clears the clock, every pending event, and the scheduling
+        sequence counter — which otherwise grows without bound when one
+        engine is reused across runs (e.g. benchmark warmup loops).
+        Reusing an engine via ``reset()`` is exactly equivalent to
+        constructing a fresh one, minus the allocation.
+        """
+        self._now = 0
+        self._seq = 0
+        self._queue.clear()
+        self._immediate.clear()
 
     def advance(self, cycles: int) -> None:
         """Advance the clock without running events (used by replay models)."""

@@ -87,13 +87,24 @@ class Processor:
         returned cycle/instruction counts are measured after the warmup
         boundary, mirroring the paper's warm-up methodology (Table 4).
         """
+        # The loop below runs once per reference; config fields and bound
+        # methods are hoisted into locals to keep it tight.
         cfg = self.config
+        issue_width = cfg.issue_width
+        rob_entries = cfg.rob_entries
+        mshrs = cfg.mshrs
+        l1_latency = cfg.l1_latency
+        l2_access = self.l2.access
         cycle = 0
         instr = 0
         gap_remainder = 0
         # In-flight loads as (instruction index, completion time).
-        loads = deque()
-        stores = deque()  # completion times only
+        loads: deque = deque()
+        stores: deque = deque()  # completion times only
+        loads_popleft = loads.popleft
+        loads_append = loads.append
+        stores_popleft = stores.popleft
+        stores_append = stores.append
         last_load_complete = 0
         warmup_cycle = 0
         warmup_instr = 0
@@ -110,34 +121,34 @@ class Processor:
 
             instr += ref.gap
             total_gap = ref.gap + gap_remainder
-            cycle += total_gap // cfg.issue_width
-            gap_remainder = total_gap % cfg.issue_width
+            cycle += total_gap // issue_width
+            gap_remainder = total_gap % issue_width
 
             # Reorder-buffer limit: older loads must complete before the
             # window can roll this far forward.
-            window_floor = instr - cfg.rob_entries
+            window_floor = instr - rob_entries
             while loads and loads[0][0] <= window_floor:
-                _, done = loads.popleft()
+                _, done = loads_popleft()
                 if done > cycle:
                     cycle = done
 
             # MSHR limit across loads and stores.
-            while len(loads) + len(stores) >= cfg.mshrs:
+            while len(loads) + len(stores) >= mshrs:
                 earliest_load = loads[0][1] if loads else None
                 earliest_store = stores[0] if stores else None
                 if earliest_store is None or (
                         earliest_load is not None and earliest_load <= earliest_store):
-                    _, done = loads.popleft()
+                    _, done = loads_popleft()
                 else:
-                    done = stores.popleft()
+                    done = stores_popleft()
                 if done > cycle:
                     cycle = done
 
             if ref.dependent and last_load_complete > cycle:
                 cycle = last_load_complete
 
-            outcome = self.l2.access(ref.addr, cycle + cfg.l1_latency,
-                                     write=ref.write)
+            outcome = l2_access(ref.addr, cycle + l1_latency,
+                                write=ref.write)
             if tracer is not None:
                 tracer.emit("l2.access", time=cycle, ref=i, addr=ref.addr,
                             write=ref.write, hit=outcome.hit,
@@ -146,9 +157,9 @@ class Processor:
                             predictable=outcome.predictable)
             requests += 1
             if ref.write:
-                stores.append(outcome.complete_time)
+                stores_append(outcome.complete_time)
             else:
-                loads.append((instr, outcome.complete_time))
+                loads_append((instr, outcome.complete_time))
                 last_load_complete = outcome.complete_time
 
         # Drain: execution ends when the last load's data has returned.

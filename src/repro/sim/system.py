@@ -77,9 +77,10 @@ def prewarm_l2(l2, resident: Sequence[int]) -> int:
     """
     ordered = (resident if l2.install_order == "popular_last"
                else reversed(resident))
+    install = l2.install
     count = 0
     for addr in ordered:
-        l2.install(addr)
+        install(addr)
         count += 1
     return count
 

@@ -202,9 +202,12 @@ def generate_trace(spec: TraceSpec, n_refs: int, seed: int = 0) -> List[Referenc
         addrs = _scatter_array(blocks) * BLOCK_BYTES
     else:
         addrs = blocks * BLOCK_BYTES
+    # .tolist() converts each element to a native int/bool in one C pass,
+    # far faster than per-element int()/bool() calls and value-identical.
     return [
-        Reference(int(g), int(a), bool(w), bool(d))
-        for g, a, w, d in zip(gaps, addrs, writes, dependents)
+        Reference(g, a, w, d)
+        for g, a, w, d in zip(gaps.tolist(), addrs.tolist(),
+                              writes.tolist(), dependents.tolist())
     ]
 
 

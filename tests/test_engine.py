@@ -82,6 +82,109 @@ class TestRunUntil:
         assert engine.now == 500
 
 
+class TestSameCycleOrdering:
+    """The batched fast path must preserve exact (time, seq) order."""
+
+    def test_same_cycle_events_scheduled_during_dispatch_run_after(self):
+        engine = Engine()
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule_at(engine.now, lambda: order.append("late"))
+
+        engine.schedule(5, first)
+        engine.schedule(5, lambda: order.append("second"))
+        engine.run()
+        assert order == ["first", "second", "late"]
+
+    def test_zero_delay_during_run_interleaves_by_schedule_order(self):
+        engine = Engine()
+        order = []
+
+        def outer():
+            engine.schedule(0, lambda: order.append("imm1"))
+            engine.schedule_at(engine.now, lambda: order.append("heap"))
+            engine.schedule(0, lambda: order.append("imm2"))
+
+        engine.schedule(3, outer)
+        engine.run()
+        assert order == ["imm1", "heap", "imm2"]
+
+    def test_zero_delay_chains_run_at_the_same_cycle(self):
+        engine = Engine()
+        times = []
+
+        def chain(n):
+            times.append(engine.now)
+            if n > 0:
+                engine.schedule(0, lambda: chain(n - 1))
+
+        engine.schedule(7, lambda: chain(3))
+        engine.run()
+        assert times == [7, 7, 7, 7]
+        assert engine.now == 7
+
+    def test_zero_delay_outside_run_behaves_like_schedule_at_now(self):
+        engine = Engine()
+        order = []
+        engine.schedule(0, lambda: order.append("a"))
+        engine.schedule(0, lambda: order.append("b"))
+        assert engine.pending == 2
+        engine.run()
+        assert order == ["a", "b"]
+
+    def test_zero_delay_can_schedule_future_events(self):
+        engine = Engine()
+        log = []
+
+        def now_then_later():
+            engine.schedule(0, lambda: engine.schedule(
+                10, lambda: log.append(engine.now)))
+
+        engine.schedule(1, now_then_later)
+        engine.run()
+        assert log == [11]
+
+
+class TestReset:
+    def test_reset_clears_clock_queue_and_sequence(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.schedule(20, lambda: None)
+        engine.run(until=15)
+        assert engine.now == 15
+        assert engine.pending == 1
+        engine.reset()
+        assert engine.now == 0
+        assert engine.pending == 0
+        assert engine._seq == 0
+
+    def test_reset_engine_matches_fresh_engine(self):
+        def exercise(engine):
+            order = []
+            engine.schedule(5, lambda: order.append((engine.now, "a")))
+            engine.schedule(5, lambda: order.append((engine.now, "b")))
+            engine.schedule(1, lambda: order.append((engine.now, "c")))
+            engine.run()
+            return order, engine.now
+
+        reused = Engine()
+        exercise(reused)
+        reused.reset()
+        assert exercise(reused) == exercise(Engine())
+
+    def test_reset_allows_scheduling_at_early_times_again(self):
+        engine = Engine()
+        engine.schedule(100, lambda: None)
+        engine.run()
+        engine.reset()
+        fired = []
+        engine.schedule_at(5, lambda: fired.append(5))
+        engine.run()
+        assert fired == [5]
+
+
 class TestStepAndAdvance:
     def test_step_runs_single_event(self):
         engine = Engine()
