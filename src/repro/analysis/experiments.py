@@ -70,7 +70,7 @@ def run_design_grid(designs: Sequence[str] = MAIN_DESIGNS,
                     workers: int = 1,
                     cache=None,
                     policy=None, checkpoint=None, fault_plan=None,
-                    telemetry=None,
+                    telemetry=None, sanitize: bool = False,
                     ) -> ExperimentGrid:
     """Run every design on every benchmark, one shared trace per benchmark.
 
@@ -87,7 +87,8 @@ def run_design_grid(designs: Sequence[str] = MAIN_DESIGNS,
                     processor_config=processor_config,
                     workers=workers, cache=cache,
                     policy=policy, checkpoint=checkpoint,
-                    fault_plan=fault_plan, telemetry=telemetry)
+                    fault_plan=fault_plan, telemetry=telemetry,
+                    sanitize=sanitize)
 
 
 def run_benchmark_suite(design: str, benchmarks: Optional[Sequence[str]] = None,

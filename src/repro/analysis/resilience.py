@@ -232,7 +232,7 @@ class FaultPlan:
 TELEMETRY_COUNTS = (
     "cells", "cache_hits", "checkpoint_replays", "computed",
     "attempts", "retries", "timeouts", "worker_deaths", "cell_errors",
-    "faults_injected", "quarantined",
+    "faults_injected", "quarantined", "sanitized_retries",
 )
 
 
@@ -408,6 +408,25 @@ class _Running:
     deadline: Optional[float]
 
 
+def _attempt_cell(cell, attempt: int):
+    """The cell to actually simulate on ``attempt``.
+
+    The first attempt runs the cell as specified; retries re-run it
+    under the simulator-core sanitizer, so a failure caused by a latent
+    simulator bug (rather than a transient environment fault) surfaces
+    as a :class:`~repro.sanitizer.SanitizerViolation` naming the broken
+    invariant instead of failing identically.  A clean sanitized run is
+    byte-identical, so the escalated result is still cached and
+    journalled under the original cell's key.
+    """
+    if attempt <= 1 or getattr(cell, "sanitize", False):
+        return cell
+    try:
+        return dataclasses.replace(cell, sanitize=True)
+    except TypeError:
+        return cell  # not a CellSpec (no sanitize field): run as-is
+
+
 def _cell_worker(conn, cell, action: Optional[str], hang_s: float) -> None:
     """Child-process entry: inject the planned fault, then simulate.
 
@@ -547,16 +566,19 @@ def _drain(pending: deque, outcomes: List, capacity: int, cache, policy,
                  if fault_plan is not None else None)
         action = fault.action if fault is not None else None
         hang_s = fault.hang_s if fault is not None else 0.0
+        run_cell = _attempt_cell(task.cell, task.attempt)
         try:
             receiver, sender = ctx.Pipe(duplex=False)
             proc = ctx.Process(target=_cell_worker,
-                               args=(sender, task.cell, action, hang_s),
+                               args=(sender, run_cell, action, hang_s),
                                daemon=True)
             proc.start()
         except (ImportError, OSError, PermissionError):
             return False
         sender.close()
         telemetry.add("attempts")
+        if run_cell is not task.cell:
+            telemetry.add("sanitized_retries")
         if fault is not None:
             telemetry.add("faults_injected")
         deadline = (time.monotonic() + policy.cell_timeout_s
@@ -670,14 +692,17 @@ def _drain_in_process(pending: deque, policy, fault_plan, telemetry,
             time.sleep(delay)
         fault = (fault_plan.fault_for(task.cell, task.attempt)
                  if fault_plan is not None else None)
+        run_cell = _attempt_cell(task.cell, task.attempt)
         telemetry.add("attempts")
+        if run_cell is not task.cell:
+            telemetry.add("sanitized_retries")
         try:
             if fault is not None:
                 telemetry.add("faults_injected")
                 raise InjectedFault(
                     f"injected {fault.action} fault (in-process) for "
                     f"({task.cell.design}, {task.cell.benchmark})")
-            result, wall_time_s = run_cell_timed(task.cell)
+            result, wall_time_s = run_cell_timed(run_cell)
         except Exception as error:  # noqa: BLE001 — any failure retries
             reschedule(task, "cell_errors", f"{type(error).__name__}: {error}")
             continue

@@ -88,6 +88,11 @@ class CellSpec:
     tech: Technology = TECH_45NM
     trace_spec: Optional[TraceSpec] = None
     memory_latency_cycles: Optional[int] = None
+    #: run under the simulator-core sanitizer (invariant checks +
+    #: watchdog).  A clean sanitized run returns a byte-identical
+    #: result, but the flag is still part of the cache key: a sanitized
+    #: entry certifies "checked", and mixing would hide that provenance.
+    sanitize: bool = False
 
     def key_fields(self) -> dict:
         """The canonical, JSON-able dictionary the cache key hashes."""
@@ -103,6 +108,7 @@ class CellSpec:
             "trace_spec": (None if self.trace_spec is None
                            else dataclasses.asdict(self.trace_spec)),
             "memory_latency_cycles": self.memory_latency_cycles,
+            "sanitize": self.sanitize,
         }
 
 
@@ -127,11 +133,13 @@ def run_cell(cell: CellSpec) -> SystemResult:
                           warmup_fraction=cell.warmup_fraction,
                           prewarm_spec=cell.trace_spec,
                           processor_config=cell.processor_config,
-                          tech=cell.tech, memory=memory)
+                          tech=cell.tech, memory=memory,
+                          sanitize=cell.sanitize)
     return run_system(cell.design, cell.benchmark, n_refs=cell.n_refs,
                       seed=cell.seed, warmup_fraction=cell.warmup_fraction,
                       processor_config=cell.processor_config,
-                      tech=cell.tech, memory=memory)
+                      tech=cell.tech, memory=memory,
+                      sanitize=cell.sanitize)
 
 
 def run_cell_timed(cell: CellSpec) -> Tuple[SystemResult, float]:
@@ -416,7 +424,8 @@ def run_grid(designs: Sequence[str],
              tech: Technology = TECH_45NM,
              workers: int = 1,
              cache: Union[ResultCache, str, os.PathLike, None] = None,
-             policy=None, checkpoint=None, fault_plan=None, telemetry=None):
+             policy=None, checkpoint=None, fault_plan=None, telemetry=None,
+             sanitize: bool = False):
     """Run a full (design x benchmark) grid through the runner.
 
     Returns an :class:`~repro.analysis.experiments.ExperimentGrid`.
@@ -425,6 +434,8 @@ def run_grid(designs: Sequence[str],
     this matches the legacy serial grid cell-for-cell.  ``policy`` /
     ``checkpoint`` / ``fault_plan`` / ``telemetry`` opt into the
     fault-tolerant executor (see :func:`execute_cells_detailed`).
+    ``sanitize=True`` runs every cell under the simulator-core
+    sanitizer; a clean sanitized grid is byte-identical to a plain one.
     """
     from repro.analysis.experiments import ExperimentGrid
 
@@ -432,7 +443,8 @@ def run_grid(designs: Sequence[str],
         benchmarks = benchmark_names()
     cells = [CellSpec(design=design, benchmark=benchmark, n_refs=n_refs,
                       seed=seed, warmup_fraction=warmup_fraction,
-                      processor_config=processor_config, tech=tech)
+                      processor_config=processor_config, tech=tech,
+                      sanitize=sanitize)
              for benchmark in benchmarks for design in designs]
     outcomes = execute_cells_detailed(cells, workers=workers, cache=cache,
                                       policy=policy, checkpoint=checkpoint,

@@ -65,6 +65,9 @@ class CacheBank:
         self._policy_factory = policy_factory(policy)
         self._policy_seeded = policy == "random"
         self._sets: Dict[int, _Set] = {}
+        #: optional repro.sanitizer.Sanitizer (set by Sanitizer.watch_banks);
+        #: receives one on_bank_insert per demand insert.
+        self.sanitizer = None
 
     def _set(self, index: int) -> _Set:
         if not 0 <= index < self.num_sets:
@@ -134,6 +137,8 @@ class CacheBank:
         entry.tags[way] = tag
         entry.dirty[way] = dirty
         entry.policy.insert(way)
+        if self.sanitizer is not None:
+            self.sanitizer.on_bank_insert(self, set_index, way)
         return AccessResult(
             hit=False, way=way, evicted_tag=evicted_tag, evicted_dirty=evicted_dirty
         )
@@ -192,6 +197,15 @@ class CacheBank:
         if tag is not None:
             entry.policy.touch(way)
         return old
+
+    def iter_sets(self):
+        """Yield ``(set_index, tags, dirty)`` for every allocated set.
+
+        Read-only walk over the lazily-allocated tag store, used by the
+        sanitizer's coherence sweeps and by debug tooling.
+        """
+        for index, entry in self._sets.items():
+            yield index, entry.tags, entry.dirty
 
     # -- statistics ------------------------------------------------------
     @property

@@ -66,6 +66,17 @@ class PartialTagArray:
         """Record that (position, set, way) is now empty."""
         self._slot(position, set_index)[way] = None
 
+    def stored(self, position: int, set_index: int, way: int) -> Optional[int]:
+        """The partial tag recorded for (position, set, way), or None.
+
+        Unallocated slots read as None; used by the sanitizer's
+        bank/partial-tag coherence sweep.
+        """
+        entry = self._entries.get((position, set_index))
+        if entry is None:
+            return None
+        return entry[way]
+
     def matches(self, set_index: int, tag: int,
                 exclude: Tuple[int, ...] = ()) -> List[int]:
         """Positions whose partial tags match ``tag`` in ``set_index``.

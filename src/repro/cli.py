@@ -125,8 +125,36 @@ def _cmd_run(args) -> int:
             tracer = EventTracer(capacity=args.trace_capacity, types=types)
         observer = RunObserver(tracer=tracer)
 
-    result = run_system(design, benchmark, n_refs=args.refs,
-                        seed=args.seed, observer=observer)
+    sanitizer = None
+    if args.sanitize or args.inject_fault:
+        from repro.sanitizer import Sanitizer, SanitizerConfig, SimFault
+
+        fault = None
+        if args.inject_fault:
+            try:
+                fault = SimFault.parse(args.inject_fault)
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        config = SanitizerConfig(check_every=args.sanitize_interval,
+                                 watchdog_stall_cycles=args.watchdog_cycles)
+        sanitizer = Sanitizer(config=config, fault=fault)
+
+    try:
+        result = run_system(design, benchmark, n_refs=args.refs,
+                            seed=args.seed, observer=observer,
+                            sanitizer=sanitizer, crash_dir=args.crash_dir)
+    except Exception as error:
+        from repro.sanitizer import SanitizerViolation
+
+        if not isinstance(error, SanitizerViolation):
+            raise
+        print(f"sanitizer violation: {error}", file=sys.stderr)
+        bundle = getattr(error, "crash_bundle", None)
+        if bundle is not None:
+            print(f"crash bundle written to {bundle}", file=sys.stderr)
+            print(f"replay with: repro replay {bundle}", file=sys.stderr)
+        return 3
     rows = [
         ["cycles", result.cycles],
         ["instructions", result.instructions],
@@ -143,6 +171,11 @@ def _cmd_run(args) -> int:
     print(format_table(["metric", "value"], rows,
                        title=f"{design} on {benchmark} "
                              f"({args.refs} refs, seed {args.seed})"))
+    if sanitizer is not None:
+        digest = sanitizer.summary()
+        print(f"sanitizer: clean ({digest['invariants']} invariant(s), "
+              f"{digest['checks_run']} sweep(s) over "
+              f"{digest['accesses']} L2 accesses)")
     if observer is not None:
         if args.metrics_out:
             from repro.obs import save_manifest
@@ -157,6 +190,42 @@ def _cmd_run(args) -> int:
                 note = f" ({summary['dropped']} older event(s) dropped)"
             print(f"{written} trace event(s) written to "
                   f"{args.trace_out}{note}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    """Replay a crash bundle; exit 0 iff the failure reproduces."""
+    from repro.sanitizer import load_bundle, minimize_bundle, replay_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: cannot load bundle {args.bundle!r}: {error}",
+              file=sys.stderr)
+        return 2
+    expected = bundle.error.get("type", "?")
+    detail = (bundle.error.get("kind")
+              or bundle.error.get("message", ""))
+    print(f"bundle: {bundle.design} on {bundle.benchmark} "
+          f"(seed {bundle.seed}, {len(bundle.trace)} trace refs)")
+    print(f"expected failure: {expected}: {detail}")
+    if bundle.minimized_from:
+        print(f"minimized from: {bundle.minimized_from}")
+    try:
+        outcome = replay_bundle(bundle)
+    except ValueError as error:
+        print(f"error: bundle is not replayable: {error}", file=sys.stderr)
+        return 2
+    print(f"replay: {outcome.outcome} ({outcome.refs} refs)")
+    if not outcome.reproduced:
+        if outcome.error is not None:
+            print(f"got instead: {type(outcome.error).__name__}: "
+                  f"{outcome.error}", file=sys.stderr)
+        return 1
+    if args.minimize:
+        minimal, path = minimize_bundle(bundle, out_dir=args.out)
+        print(f"minimized: {len(bundle.trace)} -> {minimal} refs")
+        print(f"minimized bundle written to {path}")
     return 0
 
 
@@ -310,7 +379,8 @@ def _cmd_grid(args) -> int:
                                n_refs=args.refs, seed=args.seed,
                                workers=args.workers, cache=cache,
                                policy=policy, checkpoint=checkpoint,
-                               telemetry=telemetry)
+                               telemetry=telemetry,
+                               sanitize=args.sanitize)
         if cache is not None:
             print(f"cache: {cache.hits} hit(s), {cache.stores} cell(s) "
                   f"simulated and stored under {args.cache_dir}")
@@ -541,11 +611,41 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-types", nargs="+", metavar="TYPE",
                      help="only trace these event types "
                           "(e.g. l2.access run.warmup_end)")
+    run.add_argument("--sanitize", action="store_true",
+                     help="run under the simulator-core sanitizer "
+                          "(invariant checks + livelock watchdog); a "
+                          "violation exits 3")
+    run.add_argument("--sanitize-interval", type=int, default=1024,
+                     metavar="N", help="invariant sweep every N L2 "
+                                       "accesses (default 1024)")
+    run.add_argument("--watchdog-cycles", type=int, default=1_000_000,
+                     metavar="CYCLES",
+                     help="cycles without retirement before the "
+                          "livelock watchdog trips (default 1000000)")
+    run.add_argument("--crash-dir", metavar="DIR",
+                     help="write a replayable crash bundle here on any "
+                          "failure (see `repro replay`)")
+    run.add_argument("--inject-fault", metavar="KIND[:AT[:CHANNEL]]",
+                     help="seed a deliberate fault to exercise the "
+                          "sanitizer, e.g. drop_transfer:40 or "
+                          "double_install:3 (implies --sanitize)")
     run.add_argument("--trace-capacity", type=int, default=None,
                      metavar="N",
                      help="keep only the newest N events (ring buffer); "
                           "default keeps every event")
     run.set_defaults(func=_cmd_run)
+
+    replay = sub.add_parser(
+        "replay", help="re-execute a crash bundle deterministically")
+    replay.add_argument("bundle", help="crash-bundle directory (written "
+                                       "by a --crash-dir run)")
+    replay.add_argument("--minimize", action="store_true",
+                        help="bisect the reference stream to a minimal "
+                             "failing prefix and write a *-min bundle")
+    replay.add_argument("--out", metavar="DIR",
+                        help="directory for the minimized bundle "
+                             "(default: <bundle>-min)")
+    replay.set_defaults(func=_cmd_replay)
 
     stats = sub.add_parser(
         "stats", help="pretty-print a run manifest, or diff two")
@@ -579,6 +679,9 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=list(benchmark_names()))
     grid.add_argument("--refs", type=int, default=15_000)
     grid.add_argument("--seed", type=int, default=7)
+    grid.add_argument("--sanitize", action="store_true",
+                      help="run every cell under the simulator-core "
+                           "sanitizer (identical results, checked)")
     grid.add_argument("--save", help="write the grid to this JSON path")
     grid.add_argument("--load", help="load a grid instead of running")
     grid.add_argument("--workers", type=int, default=1,

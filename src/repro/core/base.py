@@ -80,6 +80,8 @@ class L2Design(abc.ABC):
         self.metrics.register("memory", self.memory.stats)
         self.metrics.gauge("l2.network_energy_j", self.network_energy_j)
         self._network_energy_acc = 0.0
+        #: optional repro.sanitizer.Sanitizer; see attach_sanitizer.
+        self.sanitizer = None
 
     # -- the design-specific part ----------------------------------------
     @abc.abstractmethod
@@ -115,6 +117,21 @@ class L2Design(abc.ABC):
     def _reset_stats_extra(self) -> None:
         """Hook for subclasses to clear design-specific meters."""
 
+    # -- sanitizer wiring --------------------------------------------------
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Wire a :class:`~repro.sanitizer.Sanitizer` into this design.
+
+        Sets the per-access hook on this object, then lets the concrete
+        design wire its links/mesh/banks and register design-specific
+        invariants via :meth:`_attach_sanitizer_extra`.  Attaching a
+        sanitizer never changes simulated behaviour.
+        """
+        self.sanitizer = sanitizer
+        self._attach_sanitizer_extra(sanitizer)
+
+    def _attach_sanitizer_extra(self, sanitizer) -> None:
+        """Hook for subclasses to wire components and invariants."""
+
     # -- shared bookkeeping ------------------------------------------------
     def _record(self, outcome: L2Outcome, banks_accessed: int) -> None:
         self.stats.add("requests")
@@ -132,6 +149,8 @@ class L2Design(abc.ABC):
             self.stats.add("hits")
         else:
             self.stats.add("misses")
+        if self.sanitizer is not None:
+            self.sanitizer.on_access(outcome.complete_time)
 
     # -- derived metrics the tables report ---------------------------------
     @property

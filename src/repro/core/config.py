@@ -24,6 +24,7 @@ constraints:
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, Optional, Tuple
 
 from repro.sim.memory import MainMemory
@@ -31,6 +32,19 @@ from repro.tech import Technology, TECH_45NM
 
 #: Bits on a TLCopt request link: 13 set-index + 6 partial-tag + 3 command.
 OPT_REQUEST_LINK_BITS = 22
+
+#: Design kinds build_design knows how to instantiate.
+DESIGN_KINDS = ("tlc", "tlcopt", "snuca", "dnuca")
+
+
+class ConfigError(ValueError):
+    """A field combination that cannot describe a buildable design.
+
+    Raised by :class:`DesignConfig` construction (including
+    ``dataclasses.replace`` variants) and by :func:`build_design` for
+    unknown override names, so an invalid configuration fails at the
+    door instead of producing a half-built simulator or NaN latencies.
+    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -69,6 +83,113 @@ class DesignConfig:
     #: a time — less bank traffic, longer worst-case latency).
     search_mode: str = "multicast"
     controller_overhead: int = 0
+
+    def __post_init__(self) -> None:
+        self._check_scalars()
+        if self.kind in ("tlc", "tlcopt"):
+            self._check_tlc_family()
+        else:
+            self._check_nuca_family()
+
+    def _require(self, condition: bool, message: str) -> None:
+        if not condition:
+            raise ConfigError(f"{self.name or '<unnamed>'}: {message}")
+
+    @staticmethod
+    def _is_int(value) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def _check_scalars(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigError("design name must be a non-empty string")
+        self._require(self.kind in DESIGN_KINDS,
+                      f"unknown kind {self.kind!r}; choose from {DESIGN_KINDS}")
+        for field in ("banks", "bank_bytes", "bank_access_cycles",
+                      "banks_per_block", "associativity"):
+            value = getattr(self, field)
+            self._require(self._is_int(value) and value > 0,
+                          f"{field} must be a positive integer, got {value!r}")
+        for field in ("lines_per_pair", "mesh_columns", "mesh_rows",
+                      "mesh_flit_bits", "mesh_hop_latency",
+                      "partial_tag_latency", "controller_overhead"):
+            value = getattr(self, field)
+            self._require(self._is_int(value) and value >= 0,
+                          f"{field} must be a non-negative integer, "
+                          f"got {value!r}")
+        length = self.mesh_hop_length_m
+        self._require(isinstance(length, (int, float))
+                      and not isinstance(length, bool)
+                      and math.isfinite(length) and length > 0,
+                      f"mesh_hop_length_m must be a positive finite number, "
+                      f"got {length!r}")
+        self._require(self._is_int(self.promotion_distance)
+                      and self.promotion_distance >= 1,
+                      "promotion_distance must be a positive integer")
+        self._require(self.insertion_position in ("tail", "head"),
+                      f"insertion_position must be 'tail' or 'head', "
+                      f"got {self.insertion_position!r}")
+        self._require(self.search_mode in ("multicast", "incremental"),
+                      f"search_mode must be 'multicast' or 'incremental', "
+                      f"got {self.search_mode!r}")
+        from repro.cache.replacement import make_policy
+
+        try:
+            make_policy(self.replacement, 1)
+        except (ValueError, TypeError) as error:
+            raise ConfigError(
+                f"{self.name}: bad replacement policy "
+                f"{self.replacement!r}: {error}") from error
+        self._require(self.banks % self.banks_per_block == 0,
+                      f"banks_per_block={self.banks_per_block} must divide "
+                      f"banks={self.banks}")
+        self._require(self.bank_bytes % (64 * self.associativity) == 0,
+                      f"bank_bytes={self.bank_bytes} must be a whole number "
+                      f"of 64-byte x {self.associativity}-way sets")
+
+    def _check_tlc_family(self) -> None:
+        self._require(self.banks % 2 == 0 and self.banks >= 2,
+                      "TLC-family designs pair banks; banks must be even")
+        # A list from JSON (bundle replay) is coerced to the canonical
+        # tuple so configs stay hashable and comparable.
+        delays = self.controller_rt_delays
+        if not isinstance(delays, tuple):
+            try:
+                delays = tuple(delays)
+            except TypeError:
+                raise ConfigError(
+                    f"{self.name}: controller_rt_delays must be a sequence "
+                    f"of integers, got {self.controller_rt_delays!r}") from None
+            object.__setattr__(self, "controller_rt_delays", delays)
+        for delay in delays:
+            self._require(self._is_int(delay) and delay >= 0,
+                          f"controller_rt_delays entries must be "
+                          f"non-negative integers, got {delay!r}")
+        self._require(len(delays) == self.pairs,
+                      f"controller_rt_delays has {len(delays)} entries for "
+                      f"{self.pairs} bank pairs")
+        if self.kind == "tlc":
+            self._require(self.lines_per_pair >= 2
+                          and self.lines_per_pair % 2 == 0,
+                          "a TLC pair splits its lines into two equal "
+                          "links; lines_per_pair must be even and >= 2")
+        else:
+            self._require(self.lines_per_pair > OPT_REQUEST_LINK_BITS,
+                          f"a TLCopt pair needs more than "
+                          f"{OPT_REQUEST_LINK_BITS} lines "
+                          f"({OPT_REQUEST_LINK_BITS}-bit request link + "
+                          f"response lines)")
+
+    def _check_nuca_family(self) -> None:
+        self._require(self.mesh_columns >= 2 and self.mesh_columns % 2 == 0,
+                      "mesh_columns must be an even number >= 2")
+        self._require(self.mesh_rows >= 1, "mesh_rows must be positive")
+        self._require(self.banks == self.mesh_columns * self.mesh_rows,
+                      f"banks={self.banks} must equal mesh_columns x "
+                      f"mesh_rows = {self.mesh_columns * self.mesh_rows}")
+        self._require(self.mesh_flit_bits > 0,
+                      "mesh_flit_bits must be positive")
+        self._require(self.mesh_hop_latency > 0,
+                      "mesh_hop_latency must be positive")
 
     @property
     def total_bytes(self) -> int:
@@ -247,7 +368,13 @@ def build_design(name: str, memory: Optional[MainMemory] = None,
     """
     config = get_design(name)
     if overrides:
-        config = dataclasses.replace(config, **overrides)
+        try:
+            config = dataclasses.replace(config, **overrides)
+        except TypeError as error:
+            known = sorted(f.name for f in dataclasses.fields(config))
+            raise ConfigError(
+                f"{config.name}: bad design override ({error}); "
+                f"known fields: {known}") from error
     # Imported lazily: the design modules import this one for the configs.
     from repro.core.tlc import TransmissionLineCache
     from repro.core.tlc_opt import OptimizedTLC

@@ -135,6 +135,12 @@ class TLCController:
             req.register_metrics(scope.scope(f"pair{pair:02d}.req"))
             resp.register_metrics(scope.scope(f"pair{pair:02d}.resp"))
 
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Route every bundle link's transfers into ``sanitizer`` for
+        message-conservation accounting."""
+        for link in self.request_links + self.response_links:
+            link.sanitizer = sanitizer
+
     def reset_counters(self) -> None:
         """Zero traffic accounting in place, preserving link busy state
         (the warmup-boundary reset the designs call)."""

@@ -175,3 +175,10 @@ class TransmissionLineCache(L2Design):
 
     def _reset_stats_extra(self) -> None:
         self.controller.reset_counters()
+
+    def _attach_sanitizer_extra(self, sanitizer) -> None:
+        self.controller.attach_sanitizer(sanitizer)
+        sanitizer.watch_banks(self.name, [
+            (f"bank{index:02d}", bank)
+            for index, bank in enumerate(self.banks)
+        ])

@@ -243,3 +243,10 @@ class OptimizedTLC(L2Design):
 
     def _reset_stats_extra(self) -> None:
         self.controller.reset_counters()
+
+    def _attach_sanitizer_extra(self, sanitizer) -> None:
+        self.controller.attach_sanitizer(sanitizer)
+        sanitizer.watch_banks(self.name, [
+            (f"group{index:02d}", group)
+            for index, group in enumerate(self.groups)
+        ])

@@ -57,6 +57,10 @@ class Link:
         self.busy_until = 0
         self.bits_sent = 0
         self.transfers = 0
+        #: optional repro.sanitizer.Sanitizer receiving one on_transfer
+        #: per send for message-conservation accounting.  Mesh-internal
+        #: links stay detached — the mesh accounts at message level.
+        self.sanitizer = None
         # Messages come in a handful of fixed sizes (request, ack, block,
         # request+block), so the flit count per size is computed once.
         self._flits_cache: Dict[int, int] = {}
@@ -84,6 +88,8 @@ class Link:
         self.transfers += 1
         if self.meter is not None:
             self.meter.busy(flits)
+        if self.sanitizer is not None:
+            self.sanitizer.on_transfer("link", time)
         return Transfer(
             start=start,
             first_arrival=start + self.flight_cycles,

@@ -69,6 +69,9 @@ class MeshNetwork:
         self._flits_cache: Dict[int, int] = {}
         self.bit_hops = 0
         self.switch_traversals = 0
+        #: optional repro.sanitizer.Sanitizer; accounted per *message*
+        #: (not per hop) so multi-link routes count as one transfer.
+        self.sanitizer = None
 
     def _count_links(self) -> int:
         horizontal = 2 * (self.columns - 1)
@@ -151,6 +154,8 @@ class MeshNetwork:
             head = transfer.first_arrival
         self.bit_hops += message_bits * len(links)
         self.switch_traversals += len(links)
+        if self.sanitizer is not None:
+            self.sanitizer.on_transfer("mesh", time)
         return MeshPath(
             links=links,
             start=start,
@@ -173,6 +178,8 @@ class MeshNetwork:
         transfer = self._link(key).send(time, message_bits)
         self.bit_hops += message_bits
         self.switch_traversals += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_transfer("mesh", time)
         return MeshPath(
             links=(key,),
             start=transfer.start,

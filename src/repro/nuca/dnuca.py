@@ -34,7 +34,7 @@ from typing import List, Optional, Tuple
 
 from repro.cache.address import AddressMap
 from repro.cache.bank import CacheBank
-from repro.cache.partial_tags import PartialTagArray
+from repro.cache.partial_tags import PartialTagArray, partial_tag
 from repro.core.base import L2Design, L2Outcome
 from repro.core.config import DesignConfig, DNUCA
 from repro.interconnect.mesh import MeshNetwork
@@ -391,6 +391,40 @@ class DynamicNUCA(L2Design):
 
     def _reset_stats_extra(self) -> None:
         self.mesh.reset_counters()
+
+    def _attach_sanitizer_extra(self, sanitizer) -> None:
+        from repro.sanitizer.core import SanitizerViolation
+
+        self.mesh.sanitizer = sanitizer
+        sanitizer.watch_banks(self.name, [
+            (f"bankset{column:02d}.pos{position:02d}", bank)
+            for column, bankset in enumerate(self.banks)
+            for position, bank in enumerate(bankset)
+        ])
+
+        def check_partial_tags(cycle: int) -> None:
+            # The central partial-tag arrays must mirror the banks
+            # exactly — the paper's migration-coherence requirement.
+            for column in range(self.banksets):
+                pta = self.partial_tags[column]
+                for position in range(self.positions):
+                    bank = self.banks[column][position]
+                    for set_index, tags, _dirty in bank.iter_sets():
+                        for way, tag in enumerate(tags):
+                            expected = (None if tag is None
+                                        else partial_tag(tag))
+                            got = pta.stored(position, set_index, way)
+                            if got != expected:
+                                raise SanitizerViolation(
+                                    "dnuca.partial_tag_incoherent",
+                                    f"{self.name}.bankset{column:02d}"
+                                    f".pos{position:02d}", cycle,
+                                    {"set": set_index, "way": way,
+                                     "bank_partial_tag": expected,
+                                     "array_partial_tag": got})
+
+        sanitizer.register_invariant(f"{self.name}.partial_tags",
+                                     check_partial_tags)
 
     def network_energy_j(self) -> float:
         wire = self.tech.conventional_energy_per_bit(self.mesh.hop_length_m)

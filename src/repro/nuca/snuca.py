@@ -152,6 +152,13 @@ class StaticNUCA(L2Design):
     def _reset_stats_extra(self) -> None:
         self.mesh.reset_counters()
 
+    def _attach_sanitizer_extra(self, sanitizer) -> None:
+        self.mesh.sanitizer = sanitizer
+        sanitizer.watch_banks(self.name, [
+            (f"bank{index:02d}", bank)
+            for index, bank in enumerate(self.banks)
+        ])
+
     def network_energy_j(self) -> float:
         wire = self.tech.conventional_energy_per_bit(self.mesh.hop_length_m)
         per_bit_hop = wire + self.tech.switch_energy_per_bit

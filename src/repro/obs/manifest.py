@@ -95,6 +95,12 @@ class RunManifest:
     #: time: excluded from :func:`diff_manifests` (a retried run and a
     #: clean run measure the same thing).
     resilience: Optional[Dict[str, Any]] = None
+    #: :meth:`~repro.sanitizer.Sanitizer.summary` (clean runs) or its
+    #: full snapshot (crash bundles), when the sanitizer was attached.
+    #: Like ``resilience``, execution provenance: sanitized and plain
+    #: runs of the same cell measure the same thing, so this is
+    #: excluded from :func:`diff_manifests`.
+    sanitizer: Optional[Dict[str, Any]] = None
 
 
 def build_manifest(kind: str, config: Dict[str, Any],
@@ -105,7 +111,8 @@ def build_manifest(kind: str, config: Dict[str, Any],
                    seed: Optional[int] = None,
                    result: Optional[Dict[str, Any]] = None,
                    trace: Optional[Dict[str, Any]] = None,
-                   resilience: Optional[Dict[str, Any]] = None) -> RunManifest:
+                   resilience: Optional[Dict[str, Any]] = None,
+                   sanitizer: Optional[Dict[str, Any]] = None) -> RunManifest:
     """Assemble a manifest, stamping the config digest and code version."""
     return RunManifest(
         schema=SCHEMA_VERSION,
@@ -121,6 +128,7 @@ def build_manifest(kind: str, config: Dict[str, Any],
         result=result,
         trace=trace,
         resilience=resilience,
+        sanitizer=sanitizer,
     )
 
 

@@ -1,0 +1,39 @@
+"""Runtime sanitizer for the simulator core: invariant checks, a
+livelock/retirement watchdog, seeded fault injection, crash bundles,
+and deterministic replay.  See :mod:`repro.sanitizer.core` for the
+invariant catalog and ``docs/ROBUSTNESS.md`` for the workflow.
+"""
+
+from repro.sanitizer.bundle import (
+    BUNDLE_FORMAT_VERSION,
+    CrashBundle,
+    load_bundle,
+    write_crash_bundle,
+)
+from repro.sanitizer.core import (
+    FAULT_KINDS,
+    Sanitizer,
+    SanitizerConfig,
+    SanitizerViolation,
+    SimFault,
+)
+from repro.sanitizer.replay import (
+    ReplayResult,
+    minimize_bundle,
+    replay_bundle,
+)
+
+__all__ = [
+    "BUNDLE_FORMAT_VERSION",
+    "CrashBundle",
+    "FAULT_KINDS",
+    "ReplayResult",
+    "Sanitizer",
+    "SanitizerConfig",
+    "SanitizerViolation",
+    "SimFault",
+    "load_bundle",
+    "minimize_bundle",
+    "replay_bundle",
+    "write_crash_bundle",
+]

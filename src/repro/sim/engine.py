@@ -12,6 +12,7 @@ models on top of the substrate.
 from __future__ import annotations
 
 import heapq
+import operator
 from collections import deque
 from typing import Any, Callable, Deque, List, Tuple
 
@@ -27,6 +28,11 @@ class Engine:
     heap entirely.  Event ordering — by (time, scheduling sequence) — is
     identical on both paths.  Attach a tracer before calling :meth:`run`;
     attaching one from inside a running callback is not supported.
+
+    ``sanitizer`` (a :class:`~repro.sanitizer.Sanitizer`, usually set
+    via its ``attach_engine``) opts into per-dispatch monotonic-time and
+    livelock checks on the same per-event loop the tracer uses; the
+    detached default costs one branch in :meth:`run`.
     """
 
     def __init__(self, tracer=None) -> None:
@@ -40,6 +46,7 @@ class Engine:
         self._immediate: Deque[Tuple[int, Callable[[], Any]]] = deque()
         self._running = False
         self.tracer = tracer
+        self.sanitizer: Any = None
 
     @property
     def now(self) -> int:
@@ -48,6 +55,12 @@ class Engine:
 
     def schedule(self, delay: int, callback: Callable[[], Any]) -> None:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if not callable(callback):
+            raise TypeError(
+                f"callback must be callable, got {type(callback).__name__}")
+        # index() rejects floats outright — a NaN delay would compare
+        # False against every bound and then poison heap ordering.
+        delay = operator.index(delay)
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         if delay == 0 and self._running:
@@ -58,6 +71,10 @@ class Engine:
 
     def schedule_at(self, time: int, callback: Callable[[], Any]) -> None:
         """Schedule ``callback`` to run at absolute cycle ``time``."""
+        if not callable(callback):
+            raise TypeError(
+                f"callback must be callable, got {type(callback).__name__}")
+        time = operator.index(time)
         if time < self._now:
             raise ValueError(
                 f"cannot schedule at {time}, current time is {self._now}"
@@ -75,8 +92,8 @@ class Engine:
         the next event would fire after ``until`` (the clock is then
         advanced to ``until``).  Returns the final simulation time.
         """
-        if self.tracer is not None:
-            return self._run_traced(until)
+        if self.tracer is not None or self.sanitizer is not None:
+            return self._run_watched(until)
         queue = self._queue
         immediate = self._immediate
         pop = heapq.heappop
@@ -107,17 +124,23 @@ class Engine:
             self._now = until
         return self._now
 
-    def _run_traced(self, until: int | None) -> int:
-        """The traced run loop: one ``engine.dispatch`` per event."""
+    def _run_watched(self, until: int | None) -> int:
+        """The traced/sanitized run loop: per-event hooks, same order."""
+        tracer = self.tracer
+        sanitizer = self.sanitizer
         while self._queue:
             time, _seq, callback = self._queue[0]
             if until is not None and time > until:
                 self._now = until
                 return self._now
             heapq.heappop(self._queue)
+            if sanitizer is not None:
+                sanitizer.on_engine_dispatch(self._now, time,
+                                             len(self._queue))
             self._now = time
-            self.tracer.emit("engine.dispatch", time=time,
-                             pending=len(self._queue))
+            if tracer is not None:
+                tracer.emit("engine.dispatch", time=time,
+                            pending=len(self._queue))
             callback()
         if until is not None and until > self._now:
             self._now = until

@@ -78,6 +78,10 @@ class Processor:
         self.l2 = l2
         self.config = config if config is not None else ProcessorConfig()
         self.tracer = tracer
+        #: optional repro.sanitizer.Sanitizer (set by attach_processor);
+        #: receives per-reference retirement/MSHR checks and the final
+        #: quiesce sweep.  Like the tracer, it never changes the result.
+        self.sanitizer = None
 
     def run(self, trace: Iterable[Reference], warmup_refs: int = 0) -> ExecutionResult:
         """Execute ``trace``; statistics cover the post-warmup portion.
@@ -111,6 +115,7 @@ class Processor:
         requests = 0
 
         tracer = self.tracer
+        sanitizer = self.sanitizer
         for i, ref in enumerate(trace):
             if i == warmup_refs and warmup_refs > 0:
                 warmup_cycle, warmup_instr = cycle, instr
@@ -161,11 +166,16 @@ class Processor:
             else:
                 loads_append((instr, outcome.complete_time))
                 last_load_complete = outcome.complete_time
+            if sanitizer is not None:
+                sanitizer.on_retire(cycle, instr,
+                                    len(loads) + len(stores))
 
         # Drain: execution ends when the last load's data has returned.
         for _, done in loads:
             if done > cycle:
                 cycle = done
+        if sanitizer is not None:
+            sanitizer.on_quiesce(cycle, len(loads) + len(stores))
 
         return ExecutionResult(
             cycles=cycle - warmup_cycle,

@@ -128,6 +128,10 @@ def run_system(design_name: str, benchmark: str, n_refs: int = 50_000,
                prewarm_spec=None,
                memory: Optional[MainMemory] = None,
                observer=None,
+               sanitize: bool = False,
+               sanitizer=None,
+               crash_dir: Optional[str] = None,
+               warmup_refs: Optional[int] = None,
                **design_overrides) -> SystemResult:
     """Run ``benchmark`` on ``design_name`` and collect all metrics.
 
@@ -149,6 +153,24 @@ def run_system(design_name: str, benchmark: str, n_refs: int = 50_000,
     ``observer.manifest``, and its tracer — when set — is attached to
     the processor model.  Observation is strictly read-only: the
     returned :class:`SystemResult` is identical with or without it.
+
+    ``sanitize=True`` attaches a default
+    :class:`~repro.sanitizer.Sanitizer` (``sanitizer`` passes a
+    preconfigured one, e.g. with a non-default
+    :class:`~repro.sanitizer.SanitizerConfig` or an injected
+    :class:`~repro.sanitizer.SimFault`); a broken invariant raises
+    :class:`~repro.sanitizer.SanitizerViolation`.  Like observation,
+    a clean sanitized run returns an identical :class:`SystemResult`.
+
+    ``crash_dir`` enables crash bundles: any exception escaping the
+    simulation is first captured to a replayable bundle directory under
+    ``crash_dir`` (see :mod:`repro.sanitizer.bundle`), and the bundle
+    path is attached to the exception as ``crash_bundle``.
+
+    ``warmup_refs`` overrides the ``warmup_fraction`` computation with
+    an exact boundary — used by bundle replay, where the prefix must
+    keep the original run's warmup point rather than a fraction of the
+    (shortened) trace.
     """
     started = _time.perf_counter()
     external_trace = trace is not None
@@ -161,13 +183,42 @@ def run_system(design_name: str, benchmark: str, n_refs: int = 50_000,
         prewarm = resident_block_addresses(prewarm_spec)
     elif benchmark in {name for name in _known_benchmarks()}:
         prewarm = resident_block_addresses(get_profile(benchmark).spec)
-    warmup_refs = int(len(trace) * warmup_fraction)
+    if warmup_refs is None:
+        warmup_refs = int(len(trace) * warmup_fraction)
+    san = sanitizer
+    if san is None and sanitize:
+        from repro.sanitizer import Sanitizer
+
+        san = Sanitizer()
     tracer = observer.tracer if observer is not None else None
-    system = System(design_name, processor_config, tech, memory=memory,
-                    tracer=tracer, **design_overrides)
-    if prewarm is not None:
-        prewarm_l2(system.l2, prewarm)
-    result = system.run(trace, benchmark=benchmark, warmup_refs=warmup_refs)
+    ring = None
+    if san is not None and tracer is None and crash_dir is not None:
+        # No observer tracer to piggyback on: keep a small ring of
+        # recent events so a crash bundle has event context.
+        from repro.obs.trace import EventTracer
+
+        ring = EventTracer(capacity=san.config.event_ring)
+        tracer = ring
+    system: Optional[System] = None
+    try:
+        system = System(design_name, processor_config, tech, memory=memory,
+                        tracer=tracer, **design_overrides)
+        if san is not None:
+            san.attach_system(system)
+        if prewarm is not None:
+            prewarm_l2(system.l2, prewarm)
+        result = system.run(trace, benchmark=benchmark,
+                            warmup_refs=warmup_refs)
+    except Exception as error:
+        if crash_dir is not None:
+            _capture_crash(crash_dir, error, design_name=design_name,
+                           benchmark=benchmark, seed=seed, trace=trace,
+                           warmup_refs=warmup_refs, system=system,
+                           processor_config=processor_config, tech=tech,
+                           memory=memory, design_overrides=design_overrides,
+                           sanitizer=san, tracer=tracer,
+                           wall_time_s=_time.perf_counter() - started)
+        raise
     if observer is not None:
         from repro.obs.manifest import build_manifest
 
@@ -196,8 +247,48 @@ def run_system(design_name: str, benchmark: str, n_refs: int = 50_000,
             result=dataclasses.asdict(result),
             trace=None if tracer is None else tracer.summary(),
             wall_time_s=_time.perf_counter() - started,
+            sanitizer=None if san is None else san.summary(),
         )
     return result
+
+
+def _capture_crash(crash_dir: str, error: Exception, *, design_name, benchmark,
+                   seed, trace, warmup_refs, system, processor_config, tech,
+                   memory, design_overrides, sanitizer, tracer,
+                   wall_time_s) -> None:
+    """Write a crash bundle for a failed run; never masks ``error``."""
+    try:
+        from repro.core.config import resolve_design_name
+        from repro.sanitizer.bundle import write_crash_bundle
+
+        try:
+            design = resolve_design_name(design_name)
+        except ValueError:
+            design = str(design_name)
+        config = (processor_config if processor_config is not None
+                  else ProcessorConfig())
+        bundle_path = write_crash_bundle(
+            crash_dir,
+            design=design,
+            benchmark=benchmark,
+            seed=seed,
+            warmup_refs=warmup_refs,
+            trace=trace,
+            error=error,
+            processor_config=dataclasses.asdict(config),
+            tech=tech.name,
+            memory_latency_cycles=(None if memory is None
+                                   else memory.latency_cycles),
+            design_overrides=design_overrides,
+            sanitizer=sanitizer,
+            tracer=tracer,
+            metrics=(None if system is None
+                     else system.l2.metrics.snapshot()),
+            wall_time_s=wall_time_s,
+        )
+    except Exception:
+        return  # bundle writing is best-effort; the original error wins
+    error.crash_bundle = bundle_path  # type: ignore[attr-defined]
 
 
 def _known_benchmarks():

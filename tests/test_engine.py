@@ -211,3 +211,57 @@ class TestStepAndAdvance:
     def test_advance_negative_rejected(self):
         with pytest.raises(ValueError):
             Engine().advance(-5)
+
+
+class TestScheduleHardening:
+    """schedule/schedule_at validate their arguments before mutating
+    any engine state, so a rejected call leaves the engine clean."""
+
+    def test_non_callable_callback_rejected(self):
+        engine = Engine()
+        with pytest.raises(TypeError, match="callable"):
+            engine.schedule(1, "not-a-callback")
+        with pytest.raises(TypeError, match="callable"):
+            engine.schedule_at(1, None)
+
+    def test_float_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(TypeError):
+            engine.schedule(1.5, lambda: None)
+        with pytest.raises(TypeError):
+            engine.schedule_at(1.5, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        # NaN compares False against every bound, so without the
+        # integer coercion it would slip past range checks and poison
+        # the heap ordering.
+        engine = Engine()
+        with pytest.raises(TypeError):
+            engine.schedule(float("nan"), lambda: None)
+
+    def test_bool_delay_is_integral(self):
+        # bools are ints; operator.index accepts them (delay=True == 1).
+        engine = Engine()
+        engine.schedule(True, lambda: None)
+        engine.run()
+        assert engine.now == 1
+
+    def test_negative_schedule_at_rejected(self):
+        engine = Engine()
+        engine.advance(10)
+        with pytest.raises(ValueError):
+            engine.schedule_at(9, lambda: None)
+
+    def test_rejected_schedule_leaves_state_clean(self):
+        engine = Engine()
+        for bad in (lambda: engine.schedule(-1, lambda: None),
+                    lambda: engine.schedule(1, "nope"),
+                    lambda: engine.schedule(2.5, lambda: None)):
+            with pytest.raises((TypeError, ValueError)):
+                bad()
+        # A clean engine after rejections behaves exactly like fresh.
+        order = []
+        engine.schedule(3, lambda: order.append(engine.now))
+        engine.run()
+        assert order == [3]
+        assert engine.pending == 0

@@ -263,7 +263,7 @@ class TestTelemetryObservability:
             "cells": 0, "cache_hits": 0, "checkpoint_replays": 0,
             "computed": 0, "attempts": 0, "retries": 0, "timeouts": 0,
             "worker_deaths": 0, "cell_errors": 0, "faults_injected": 0,
-            "quarantined": 0,
+            "quarantined": 0, "sanitized_retries": 0,
         }
 
     def test_unknown_count_rejected(self):

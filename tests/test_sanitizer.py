@@ -1,0 +1,403 @@
+"""Simulator-core sanitizer: invariants, faults, bundles, and replay.
+
+Three layers of coverage:
+
+* **transparency** — a clean sanitized run returns a byte-identical
+  result for every design (the sanitizer observes, never participates);
+* **detection** — each seeded fault kind (dropped transfer, double
+  bank install, stalled retirement) is caught with the right violation
+  kind and component;
+* **reproduction** — a violation captured to a crash bundle replays to
+  the same violation, and ``minimize`` bisects it to a smaller prefix
+  that still reproduces.
+"""
+
+import dataclasses
+import json
+import os
+import types
+
+import pytest
+
+from repro.sanitizer import (
+    Sanitizer,
+    SanitizerConfig,
+    SanitizerViolation,
+    SimFault,
+    load_bundle,
+    minimize_bundle,
+    replay_bundle,
+)
+from repro.sim.processor import ProcessorConfig
+from repro.sim.system import run_system
+
+ALL_DESIGNS = ("TLC", "TLCopt500", "SNUCA2", "DNUCA")
+
+
+def run_pair(design, benchmark="mcf", n_refs=2000, **kwargs):
+    plain = run_system(design, benchmark, n_refs=n_refs, seed=7)
+    sanitized = run_system(design, benchmark, n_refs=n_refs, seed=7,
+                           sanitize=True, **kwargs)
+    return plain, sanitized
+
+
+class TestTransparency:
+    """A clean sanitized run is indistinguishable from a plain one."""
+
+    @pytest.mark.parametrize("design", ALL_DESIGNS)
+    def test_sanitized_result_identical(self, design):
+        plain, sanitized = run_pair(design)
+        assert sanitized == plain
+
+    def test_sanitized_run_with_misses_identical(self):
+        # swim streams through the cache (~1200 misses at this size),
+        # exercising the insert/eviction paths under the bank sweep.
+        plain, sanitized = run_pair("TLC", benchmark="swim")
+        assert sanitized == plain
+        assert plain.l2_misses > 0
+
+    def test_manifest_records_sanitizer_provenance(self):
+        from repro.obs import RunObserver
+
+        observer = RunObserver()
+        run_system("TLC", "mcf", n_refs=1500, seed=7, sanitize=True,
+                   observer=observer)
+        digest = observer.manifest.sanitizer
+        assert digest["enabled"] is True
+        assert digest["checks_run"] >= 1
+        assert digest["fault"] is None
+
+        plain_observer = RunObserver()
+        run_system("TLC", "mcf", n_refs=1500, seed=7,
+                   observer=plain_observer)
+        assert plain_observer.manifest.sanitizer is None
+
+
+class TestFaultDetection:
+    """Each seeded fault kind trips its own invariant."""
+
+    def test_dropped_mesh_transfer_breaks_conservation(self):
+        with pytest.raises(SanitizerViolation) as exc:
+            run_system("SNUCA2", "mcf", n_refs=2000, seed=7,
+                       sanitizer=Sanitizer(fault=SimFault("drop_transfer",
+                                                          at=40)))
+        violation = exc.value
+        assert violation.kind == "mesh.conservation"
+        assert violation.details["lost"] == 1
+        assert violation.details["sent"] == violation.details["delivered"] + 1
+
+    def test_dropped_link_transfer_breaks_conservation(self):
+        with pytest.raises(SanitizerViolation) as exc:
+            run_system("TLC", "mcf", n_refs=2000, seed=7,
+                       sanitizer=Sanitizer(fault=SimFault("drop_transfer",
+                                                          at=40,
+                                                          channel="link")))
+        assert exc.value.kind == "link.conservation"
+
+    def test_double_install_caught_as_duplicate_tag(self):
+        # swim misses constantly, so the insert path (where the fault
+        # lives) is actually exercised.
+        with pytest.raises(SanitizerViolation) as exc:
+            run_system("TLC", "swim", n_refs=2000, seed=7,
+                       sanitizer=Sanitizer(fault=SimFault("double_install",
+                                                          at=3)))
+        violation = exc.value
+        assert violation.kind == "bank.duplicate_tag"
+        assert violation.component.startswith("TLC.")
+
+    def test_stalled_retirement_trips_watchdog(self):
+        config = SanitizerConfig(watchdog_stall_cycles=2000)
+        with pytest.raises(SanitizerViolation) as exc:
+            run_system("TLC", "mcf", n_refs=4000, seed=7,
+                       sanitizer=Sanitizer(config=config,
+                                           fault=SimFault("stall_retirement",
+                                                          at=100)))
+        violation = exc.value
+        assert violation.kind == "watchdog.no_retirement"
+        assert violation.details["stalled_cycles"] > 2000
+
+    def test_violation_as_dict_is_json_ready(self):
+        violation = SanitizerViolation("bank.occupancy", "TLC.bank03", 42,
+                                       {"set": 1, "occupied": 3, "ways": 2})
+        payload = json.loads(json.dumps(violation.as_dict()))
+        assert payload["kind"] == "bank.occupancy"
+        assert payload["component"] == "TLC.bank03"
+        assert payload["cycle"] == 42
+
+
+class TestUnitChecks:
+    """Direct hook-level checks that need no full-system run."""
+
+    def make_sanitizer(self, **config):
+        sanitizer = Sanitizer(config=SanitizerConfig(**config))
+        processor = types.SimpleNamespace(config=ProcessorConfig())
+        sanitizer.attach_processor(processor)
+        return sanitizer
+
+    def test_mshr_leak_detected(self):
+        sanitizer = self.make_sanitizer()
+        with pytest.raises(SanitizerViolation) as exc:
+            sanitizer.on_retire(10, 5, outstanding=9)  # mshrs default 8
+        assert exc.value.kind == "mshr.leak"
+
+    def test_mshr_leak_detected_at_quiesce(self):
+        sanitizer = self.make_sanitizer()
+        with pytest.raises(SanitizerViolation) as exc:
+            sanitizer.on_quiesce(10, outstanding=9)
+        assert exc.value.kind == "mshr.leak"
+        assert exc.value.details["at_quiesce"] is True
+
+    def test_engine_livelock_detected(self):
+        from repro.sim.engine import Engine
+
+        engine = Engine()
+        sanitizer = Sanitizer(config=SanitizerConfig(
+            max_same_cycle_events=50))
+        sanitizer.attach_engine(engine)
+
+        def spin():
+            engine.schedule(0, spin)
+
+        engine.schedule(0, spin)
+        with pytest.raises(SanitizerViolation) as exc:
+            engine.run()
+        assert exc.value.kind == "engine.livelock"
+
+    def test_engine_time_regression_detected(self):
+        sanitizer = Sanitizer()
+        sanitizer.on_engine_dispatch(100, 100, pending=1)
+        with pytest.raises(SanitizerViolation) as exc:
+            sanitizer.on_engine_dispatch(100, 99, pending=1)
+        assert exc.value.kind == "engine.time_regression"
+
+    def test_watched_engine_results_match_plain(self):
+        from repro.sim.engine import Engine
+
+        def run(engine):
+            order = []
+            engine.schedule(5, lambda: order.append("b"))
+            engine.schedule(1, lambda: order.append("a"))
+            engine.run()
+            return order, engine.now
+
+        plain = run(Engine())
+        watched_engine = Engine()
+        Sanitizer().attach_engine(watched_engine)
+        assert run(watched_engine) == plain
+
+    def test_sim_fault_parse(self):
+        assert SimFault.parse("drop_transfer") == SimFault("drop_transfer")
+        assert SimFault.parse("drop_transfer:40") == SimFault(
+            "drop_transfer", at=40)
+        assert SimFault.parse("drop_transfer:40:mesh") == SimFault(
+            "drop_transfer", at=40, channel="mesh")
+        for bad in ("explode", "drop_transfer:0", "drop_transfer:x"):
+            with pytest.raises(ValueError):
+                SimFault.parse(bad)
+
+    def test_fault_round_trips_through_dict(self):
+        fault = SimFault("double_install", at=3)
+        assert SimFault.from_dict(fault.to_dict()) == fault
+        config = SanitizerConfig(check_every=64)
+        assert SanitizerConfig.from_dict(config.to_dict()) == config
+
+
+class TestCrashBundles:
+    """Violation -> bundle -> replay -> same violation."""
+
+    def capture(self, tmp_path, **kwargs):
+        with pytest.raises(SanitizerViolation) as exc:
+            run_system(crash_dir=str(tmp_path / "crashes"), **kwargs)
+        bundle_path = getattr(exc.value, "crash_bundle", None)
+        assert bundle_path is not None
+        return exc.value, load_bundle(bundle_path)
+
+    def test_bundle_contents(self, tmp_path):
+        violation, bundle = self.capture(
+            tmp_path, design_name="SNUCA2", benchmark="mcf", n_refs=2000,
+            seed=7, sanitizer=Sanitizer(fault=SimFault("drop_transfer",
+                                                       at=40)))
+        assert bundle.design == "SNUCA2"
+        assert bundle.benchmark == "mcf"
+        assert bundle.seed == 7
+        assert bundle.error["type"] == "SanitizerViolation"
+        assert bundle.error["kind"] == "mesh.conservation"
+        assert bundle.sanitizer["fault"] == {"kind": "drop_transfer",
+                                             "at": 40, "channel": None}
+        # The trace prefix covers the failure point but not the whole run.
+        assert 0 < len(bundle.trace) < 2000
+        assert os.path.exists(os.path.join(bundle.path, "bundle.json"))
+        assert os.path.exists(os.path.join(bundle.path, "trace.txt"))
+
+    def test_bundle_dir_names_are_deterministic(self, tmp_path):
+        for index in range(2):
+            with pytest.raises(SanitizerViolation) as exc:
+                run_system("SNUCA2", "mcf", n_refs=2000, seed=7,
+                           crash_dir=str(tmp_path),
+                           sanitizer=Sanitizer(
+                               fault=SimFault("drop_transfer", at=40)))
+            assert os.path.basename(exc.value.crash_bundle) \
+                == f"SNUCA2-mcf-s7-{index:03d}"
+
+    def test_replay_reproduces_each_fault_kind(self, tmp_path):
+        cases = [
+            dict(design_name="SNUCA2", benchmark="mcf", n_refs=2000, seed=7,
+                 sanitizer=Sanitizer(fault=SimFault("drop_transfer", at=40))),
+            dict(design_name="TLC", benchmark="swim", n_refs=2000, seed=7,
+                 sanitizer=Sanitizer(fault=SimFault("double_install", at=3))),
+            dict(design_name="TLC", benchmark="mcf", n_refs=4000, seed=7,
+                 sanitizer=Sanitizer(
+                     config=SanitizerConfig(watchdog_stall_cycles=2000),
+                     fault=SimFault("stall_retirement", at=100))),
+        ]
+        for case in cases:
+            violation, bundle = self.capture(tmp_path, **case)
+            outcome = replay_bundle(bundle)
+            assert outcome.reproduced, (case, outcome.outcome)
+            assert outcome.violation.kind == violation.kind
+            assert outcome.violation.component == violation.component
+
+    def test_minimize_shrinks_and_still_reproduces(self, tmp_path):
+        _, bundle = self.capture(
+            tmp_path, design_name="SNUCA2", benchmark="mcf", n_refs=2000,
+            seed=7, sanitizer=Sanitizer(fault=SimFault("drop_transfer",
+                                                       at=40)))
+        minimal, min_path = minimize_bundle(
+            bundle, out_dir=str(tmp_path / "min"))
+        assert 0 < minimal < len(bundle.trace)
+        min_bundle = load_bundle(min_path)
+        assert len(min_bundle.trace) == minimal
+        assert min_bundle.minimized_from == bundle.path
+        assert replay_bundle(min_bundle).reproduced
+
+    def test_crash_bundle_for_unhandled_exception(self, tmp_path):
+        # Any exception escaping the simulation is bundled, sanitizer
+        # or not — here an invalid design override.
+        from repro.core.config import ConfigError
+
+        with pytest.raises(ConfigError) as exc:
+            run_system("TLC", "mcf", n_refs=1000, seed=7,
+                       crash_dir=str(tmp_path), banks=31)
+        bundle = load_bundle(exc.value.crash_bundle)
+        assert bundle.error["type"] == "ConfigError"
+
+    def test_no_bundle_without_crash_dir(self):
+        with pytest.raises(SanitizerViolation) as exc:
+            run_system("SNUCA2", "mcf", n_refs=2000, seed=7,
+                       sanitizer=Sanitizer(fault=SimFault("drop_transfer",
+                                                          at=40)))
+        assert not hasattr(exc.value, "crash_bundle")
+
+
+class TestRunnerIntegration:
+    """CellSpec / grid plumbing for sanitized execution."""
+
+    def test_sanitize_changes_cache_key(self):
+        from repro.analysis.runner import CellSpec, cache_key
+
+        cell = CellSpec(design="TLC", benchmark="mcf", n_refs=1000, seed=7)
+        sanitized = dataclasses.replace(cell, sanitize=True)
+        assert cache_key(cell) != cache_key(sanitized)
+
+    def test_run_cell_sanitized_identical(self):
+        from repro.analysis.runner import CellSpec, run_cell
+
+        cell = CellSpec(design="TLC", benchmark="mcf", n_refs=1500, seed=7)
+        assert run_cell(dataclasses.replace(cell, sanitize=True)) \
+            == run_cell(cell)
+
+    def test_retry_escalates_to_sanitized_rerun(self):
+        from repro.analysis.resilience import _attempt_cell
+        from repro.analysis.runner import CellSpec
+
+        cell = CellSpec(design="TLC", benchmark="mcf", n_refs=1000, seed=7)
+        assert _attempt_cell(cell, 1) is cell
+        assert _attempt_cell(cell, 2).sanitize is True
+        already = dataclasses.replace(cell, sanitize=True)
+        assert _attempt_cell(already, 2) is already
+
+    def test_retry_escalation_counts_telemetry(self):
+        from repro.analysis.resilience import (
+            FaultPlan,
+            FaultSpec,
+            RetryPolicy,
+            RunnerTelemetry,
+        )
+        from repro.analysis.runner import CellSpec, execute_cells_detailed
+
+        cells = [CellSpec(design="TLC", benchmark="mcf", n_refs=1000, seed=7)]
+        plan = FaultPlan(faults=(FaultSpec(design="TLC", benchmark="mcf",
+                                           action="raise", attempts=(1,)),))
+        telemetry = RunnerTelemetry()
+        outcomes = execute_cells_detailed(
+            cells, policy=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+            fault_plan=plan, telemetry=telemetry)
+        assert outcomes[0].attempts == 2
+        assert telemetry["sanitized_retries"] == 1
+        # The outcome still describes the cell as specified (unsanitized):
+        # the escalation is execution provenance, not a different cell.
+        assert outcomes[0].cell.sanitize is False
+
+
+class TestCLI:
+    def test_sanitized_run_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "TLC", "mcf", "--refs", "1500",
+                     "--sanitize"]) == 0
+        assert "sanitizer: clean" in capsys.readouterr().out
+
+    def test_injected_fault_exits_three_with_bundle(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["run", "SNUCA2", "mcf", "--refs", "2000",
+                     "--inject-fault", "drop_transfer:40",
+                     "--crash-dir", str(tmp_path)])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "mesh.conservation" in err
+        assert "crash bundle written to" in err
+
+    def test_replay_command_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["run", "SNUCA2", "mcf", "--refs", "2000",
+                     "--inject-fault", "drop_transfer:40",
+                     "--crash-dir", str(tmp_path)]) == 3
+        capsys.readouterr()
+        bundles = sorted(os.listdir(tmp_path))
+        assert bundles == ["SNUCA2-mcf-s7-000"]
+        assert main(["replay", str(tmp_path / bundles[0])]) == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_replay_rejects_bad_bundle(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["replay", str(tmp_path / "nope")]) == 2
+        assert "cannot load bundle" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_two(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "TLC", "mcf", "--refs", "100",
+                     "--inject-fault", "explode"]) == 2
+
+
+class TestGridEquivalenceSanitized:
+    """The sanitized grid must byte-match the pre-sanitizer golden grid."""
+
+    GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                          "grid_equivalence.json")
+
+    def test_sanitized_grid_matches_golden_bytes(self, tmp_path):
+        from repro.analysis.runner import run_grid
+        from repro.analysis.storage import save_grid
+
+        grid = run_grid(designs=("SNUCA2", "DNUCA", "TLC", "TLCopt500"),
+                        benchmarks=("perl", "bzip", "mcf", "swim"),
+                        n_refs=3000, seed=7, sanitize=True)
+        out = tmp_path / "grid.json"
+        save_grid(str(out), grid)
+        with open(self.GOLDEN, "rb") as handle:
+            golden_bytes = handle.read()
+        assert out.read_bytes() == golden_bytes
