@@ -43,6 +43,42 @@ class ExperimentGrid:
     cell_meta: Optional[Dict[Tuple[str, str], dict]] = dataclasses.field(
         default=None, compare=False)
 
+    def cell_keys(self, designs: Optional[Sequence[str]] = None,
+                  benchmarks: Optional[Sequence[str]] = None,
+                  ) -> Tuple[str, ...]:
+        """Provenance keys of the cells in a (designs x benchmarks) slice.
+
+        The sorted per-cell fingerprints the derived-artifact lane
+        (:mod:`repro.analysis.derived`) keys figures/tables/report
+        sections by.  Grids produced by the runner carry each cell's
+        result-cache key in :attr:`cell_meta` (it embeds every
+        simulation input plus the code-version stamp); grids loaded
+        from disk or built by hand have no runner provenance, so their
+        cells fall back to a ``content:``-prefixed digest of the result
+        payload itself — a different namespace, but equally a pure
+        function of what the cell holds, so derived artifacts stay
+        correct either way (a warm entry can only be reused when the
+        contributing data is identical).
+        """
+        designs = self.designs if designs is None else tuple(designs)
+        benchmarks = self.benchmarks if benchmarks is None else tuple(benchmarks)
+        keys = []
+        for design in designs:
+            for benchmark in benchmarks:
+                meta = (self.cell_meta or {}).get((design, benchmark))
+                if meta is not None and meta.get("cache_key"):
+                    keys.append(meta["cache_key"])
+                    continue
+                from repro.analysis.storage import (
+                    integrity_digest,
+                    result_to_dict,
+                )
+
+                digest = integrity_digest(
+                    result_to_dict(self.result(design, benchmark)))
+                keys.append(f"content:{digest}")
+        return tuple(sorted(keys))
+
     def result(self, design: str, benchmark: str) -> SystemResult:
         try:
             return self.results[(design, benchmark)]
@@ -98,13 +134,16 @@ def run_benchmark_suite(design: str, benchmarks: Optional[Sequence[str]] = None,
                         workers: int = 1,
                         cache=None,
                         policy=None, checkpoint=None, fault_plan=None,
-                        telemetry=None,
+                        telemetry=None, sanitize: bool = False,
                         ) -> Dict[str, SystemResult]:
     """Run one design across the benchmark suite.
 
-    Accepts the same ``warmup_fraction`` / ``processor_config`` as
-    :func:`run_design_grid`, so a suite run is comparable cell-for-cell
-    with grid cells (and shares their cache entries).
+    Accepts the same ``warmup_fraction`` / ``processor_config`` /
+    ``sanitize`` as :func:`run_design_grid`, so a suite run is
+    comparable cell-for-cell with grid cells (and shares their cache
+    entries — ``sanitize`` is part of the cell cache key, so it must
+    reach the runner or sanitized suite and grid runs would compute
+    under one key and look each other up under another).
     """
     from repro.analysis.runner import run_grid
 
@@ -113,6 +152,7 @@ def run_benchmark_suite(design: str, benchmarks: Optional[Sequence[str]] = None,
                     processor_config=processor_config,
                     workers=workers, cache=cache,
                     policy=policy, checkpoint=checkpoint,
-                    fault_plan=fault_plan, telemetry=telemetry)
+                    fault_plan=fault_plan, telemetry=telemetry,
+                    sanitize=sanitize)
     return {benchmark: grid.result(design, benchmark)
             for benchmark in grid.benchmarks}

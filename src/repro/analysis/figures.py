@@ -1,14 +1,58 @@
-"""Terminal-friendly figure rendering (ASCII bar charts).
+"""Terminal-friendly figure rendering (ASCII bar charts) and the pure
+dataset builders behind the paper's Figures 5-8.
 
-The paper's Figures 5-8 are grouped bar charts; these helpers render
-the same data in a terminal so the benchmark harnesses and the CLI can
-show the figure, not just its table.  Pure string formatting — no
-plotting dependencies.
+The paper's Figures 5-8 are grouped bar charts; the rendering helpers
+draw the same data in a terminal so the benchmark harnesses and the
+CLI can show the figure, not just its table.  Pure string formatting —
+no plotting dependencies.
+
+The ``figure*_dataset`` builders extract each figure's rows from an
+:class:`~repro.analysis.experiments.ExperimentGrid` (duck-typed; only
+``result`` / ``normalized_execution_time`` / ``benchmarks`` are used)
+as JSON-able lists of lists.  They are the ``(grid slice) -> dataset``
+half of the report pipeline: datasets round-trip through the
+derived-artifact cache lane (:mod:`repro.analysis.derived`), so they
+must contain only JSON scalars and lists — renderers receive exactly
+what JSON gives back.
 """
 
 from __future__ import annotations
 
 from typing import List, Mapping, Optional, Sequence
+
+
+def figure5_dataset(grid, designs: Sequence[str] = ("DNUCA", "TLC"),
+                    baseline: str = "SNUCA2") -> List[list]:
+    """Figure 5 rows: ``[benchmark, <normalized time per design>...]``."""
+    return [[bench] + [round(grid.normalized_execution_time(d, bench,
+                                                            baseline), 3)
+                       for d in designs]
+            for bench in grid.benchmarks]
+
+
+def figure6_dataset(grid, designs: Sequence[str] = ("DNUCA", "TLC"),
+                    ) -> List[list]:
+    """Figure 6 rows: ``[benchmark, <mean lookup latency per design>...]``."""
+    return [[bench] + [round(grid.result(d, bench).mean_lookup_latency, 1)
+                       for d in designs]
+            for bench in grid.benchmarks]
+
+
+def figure7_dataset(grid, designs: Sequence[str]) -> List[list]:
+    """Figure 7 rows: ``[benchmark, <link utilization per design>...]``."""
+    return [[bench] + [grid.result(d, bench).link_utilization
+                       for d in designs]
+            for bench in grid.benchmarks]
+
+
+def figure8_dataset(grid, designs: Sequence[str],
+                    baseline: str = "SNUCA2") -> List[list]:
+    """Figure 8 rows: ``[benchmark, <normalized time per design>...]``."""
+    return [[bench] + [round(grid.normalized_execution_time(d, bench,
+                                                            baseline), 3)
+                       for d in designs]
+            for bench in grid.benchmarks]
+
 
 #: glyph cycle for the series of a grouped chart.
 _SERIES_GLYPHS = "#*+o@%"
@@ -37,6 +81,8 @@ def grouped_bar_chart(series: Mapping[str, Mapping[str, float]],
     """
     if not series:
         raise ValueError("need at least one series")
+    if not categories:
+        raise ValueError("need at least one category")
     names = list(series)
     values = [series[name].get(category, 0.0)
               for name in names for category in categories]
@@ -79,7 +125,11 @@ def latency_histogram_sparkline(histogram, width: int = 60,
     by mass — a quick visual of lookup-latency concentration (TLC's is a
     single spike; DNUCA's spreads).
     """
-    items = list(histogram.items())
+    # Sort defensively: Histogram.items() is sorted, but manifest bins
+    # and hand-built mappings come back in insertion order, and an
+    # unsorted view would put low/high at arbitrary values and drive
+    # the bucket index negative or past the strip.
+    items = sorted(histogram.items())
     if not items:
         return (title + "\n" if title else "") + "(empty histogram)"
     low = items[0][0]

@@ -63,9 +63,13 @@ from repro.workloads.profiles import benchmark_names
 from repro.workloads.synthetic import TraceSpec, generate_trace
 
 #: Bump when the cache payload layout (not the simulated code) changes.
-#: v2 added the per-entry integrity digest; v1 entries hash to different
-#: keys (the version is part of the key payload) and are simply unseen.
-CACHE_FORMAT_VERSION = 2
+#: v2 added the per-entry integrity digest; v3 switched the result's
+#: ``stats`` field to the canonical pair-list encoding (see
+#: :func:`repro.analysis.storage.result_to_dict`), which preserves
+#: integer stat keys across the JSON round trip.  Old entries hash to
+#: different keys (the version is part of the key payload) and are
+#: simply unseen.
+CACHE_FORMAT_VERSION = 3
 
 
 @dataclasses.dataclass(frozen=True)
@@ -416,6 +420,33 @@ def execute_cells(cells: Sequence[CellSpec], workers: int = 1,
                                       **resilience)]
 
 
+def grid_cell_specs(designs: Sequence[str],
+                    benchmarks: Optional[Sequence[str]] = None,
+                    n_refs: int = 30_000, seed: int = 7,
+                    warmup_fraction: float = 0.3,
+                    processor_config: Optional[ProcessorConfig] = None,
+                    tech: Technology = TECH_45NM,
+                    sanitize: bool = False,
+                    ) -> Tuple[List[CellSpec], Tuple[str, ...]]:
+    """The cell specs a :func:`run_grid` call would execute, without
+    executing them.
+
+    Returns ``(cells, benchmarks)`` with the benchmark default
+    resolved.  Callers that only need the grid's *identity* — the
+    derived-artifact lane fingerprints a whole report by its cells'
+    cache keys before deciding whether any simulation is needed at all
+    — get it from here for the cost of a few hashes.
+    """
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    cells = [CellSpec(design=design, benchmark=benchmark, n_refs=n_refs,
+                      seed=seed, warmup_fraction=warmup_fraction,
+                      processor_config=processor_config, tech=tech,
+                      sanitize=sanitize)
+             for benchmark in benchmarks for design in designs]
+    return cells, tuple(benchmarks)
+
+
 def run_grid(designs: Sequence[str],
              benchmarks: Optional[Sequence[str]] = None,
              n_refs: int = 30_000, seed: int = 7,
@@ -439,13 +470,10 @@ def run_grid(designs: Sequence[str],
     """
     from repro.analysis.experiments import ExperimentGrid
 
-    if benchmarks is None:
-        benchmarks = benchmark_names()
-    cells = [CellSpec(design=design, benchmark=benchmark, n_refs=n_refs,
-                      seed=seed, warmup_fraction=warmup_fraction,
-                      processor_config=processor_config, tech=tech,
-                      sanitize=sanitize)
-             for benchmark in benchmarks for design in designs]
+    cells, benchmarks = grid_cell_specs(
+        designs, benchmarks, n_refs=n_refs, seed=seed,
+        warmup_fraction=warmup_fraction, processor_config=processor_config,
+        tech=tech, sanitize=sanitize)
     outcomes = execute_cells_detailed(cells, workers=workers, cache=cache,
                                       policy=policy, checkpoint=checkpoint,
                                       fault_plan=fault_plan,
@@ -462,6 +490,12 @@ def run_grid(designs: Sequence[str],
             "from_checkpoint": outcome.from_checkpoint,
             "l2_hits": outcome.result.l2_hits,
             "l2_misses": outcome.result.l2_misses,
+            # The cell's result-cache key: the provenance fingerprint
+            # the derived-artifact lane builds its own keys from, also
+            # recorded when no result cache was in play (the key is a
+            # pure function of the spec + code version, not of whether
+            # a cache directory happened to be configured).
+            "cache_key": cache_key(outcome.cell),
         }
         for outcome in outcomes
     }

@@ -11,12 +11,21 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.analysis.experiments import ExperimentGrid
 from repro.sim.system import SystemResult
 
-FORMAT_VERSION = 1
+#: v2 canonicalized the result ``stats`` encoding: a sorted list of
+#: ``[key, value]`` pairs instead of a JSON object.  JSON object keys
+#: are always strings, so the v1 encoding silently converted integer
+#: stat keys (e.g. per-distance or per-bank breakdowns) to strings on
+#: the way to disk — a loaded grid could then compare unequal to the
+#: grid that produced it and re-derive different artifact fingerprints.
+#: Pair lists keep each key's JSON type intact.  v1 documents still
+#: load (their stringified keys are unrecoverable, and kept as-is).
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, FORMAT_VERSION)
 
 
 class CacheCorruptionError(ValueError):
@@ -43,9 +52,48 @@ def integrity_digest(result_payload: dict) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def _encode_stats(stats: dict) -> List[list]:
+    """Canonical JSON encoding of a result's ``stats`` dictionary.
+
+    A sorted list of ``[key, value]`` pairs rather than a JSON object:
+    object keys must be strings, so ``json.dump`` would silently
+    stringify integer keys and the decoded dictionary would no longer
+    equal the one that was saved.  Pairs carry each key as a JSON value
+    of its own type.  Sorting is by ``(type name, stringified key)`` —
+    deterministic for the mixed int/str key sets real designs produce
+    without ever comparing ints to strings.
+    """
+    return [[key, stats[key]]
+            for key in sorted(stats, key=lambda k: (type(k).__name__, str(k)))]
+
+
+def _decode_stats(encoded: object) -> dict:
+    """Inverse of :func:`_encode_stats` (also accepts the legacy v1
+    plain-object form, whose keys are necessarily strings)."""
+    if isinstance(encoded, dict):
+        return encoded
+    if not isinstance(encoded, list):
+        raise ValueError(
+            f"stats must be a pair list or legacy object, got "
+            f"{type(encoded).__name__}")
+    stats = {}
+    for item in encoded:
+        if not isinstance(item, list) or len(item) != 2:
+            raise ValueError(f"malformed stats pair: {item!r}")
+        stats[item[0]] = item[1]
+    return stats
+
+
 def result_to_dict(result: SystemResult) -> dict:
-    """A JSON-ready dictionary of one result."""
-    return dataclasses.asdict(result)
+    """A JSON-ready dictionary of one result.
+
+    Everything is ``dataclasses.asdict`` except ``stats``, which uses
+    the canonical pair-list encoding (see :func:`_encode_stats`) so the
+    JSON round trip is lossless for non-string stat keys.
+    """
+    payload = dataclasses.asdict(result)
+    payload["stats"] = _encode_stats(result.stats)
+    return payload
 
 
 def result_from_dict(payload: dict) -> SystemResult:
@@ -57,6 +105,8 @@ def result_from_dict(payload: dict) -> SystemResult:
     missing = fields - set(payload)
     if missing:
         raise ValueError(f"missing result fields: {sorted(missing)}")
+    payload = dict(payload)
+    payload["stats"] = _decode_stats(payload["stats"])
     return SystemResult(**payload)
 
 
@@ -81,9 +131,10 @@ def load_grid(path: str) -> ExperimentGrid:
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     version = document.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(
-            f"unsupported grid format {version!r} (expected {FORMAT_VERSION})")
+            f"unsupported grid format {version!r} (expected one of "
+            f"{list(_SUPPORTED_VERSIONS)})")
     designs = tuple(document["designs"])
     benchmarks = tuple(document["benchmarks"])
     results: Dict[Tuple[str, str], SystemResult] = {}

@@ -339,6 +339,27 @@ def _grid_cache(args):
     return ResultCache(args.cache_dir)
 
 
+def _derived_lane(args):
+    """The derived-artifact lane the grid/report commands route through.
+
+    ``--derived-cache-dir`` names the lane directory explicitly;
+    without it, a ``--cache-dir`` run keeps derived artifacts beside
+    the results it fingerprints (``<cache-dir>/derived``).
+    ``--no-derived-cache`` — or neither flag — yields a disabled lane
+    (same rendering, nothing persisted).
+    """
+    from repro.analysis.derived import as_lane
+
+    if getattr(args, "no_derived_cache", False):
+        return as_lane(None)
+    root = getattr(args, "derived_cache_dir", None)
+    if not root and getattr(args, "cache_dir", None):
+        import os
+
+        root = os.path.join(args.cache_dir, "derived")
+    return as_lane(root)
+
+
 def _grid_resilience(args):
     """``(policy, checkpoint, telemetry)`` for the grid/report commands.
 
@@ -392,15 +413,30 @@ def _cmd_grid(args) -> int:
         save_grid(args.save, grid)
         print(f"grid saved to {args.save}")
 
+    lane = _derived_lane(args)
     baseline = grid.designs[0]
-    rows = []
-    for bench in grid.benchmarks:
-        rows.append([bench] + [
+
+    def compute_table() -> dict:
+        rows = [[bench] + [
             round(grid.normalized_execution_time(design, bench, baseline), 3)
             for design in grid.designs
-        ])
-    print(format_table(["benchmark"] + list(grid.designs), rows,
-                       title=f"Normalized execution time ({baseline} = 1.0)"))
+        ] for bench in grid.benchmarks]
+        rendered = format_table(
+            ["benchmark"] + list(grid.designs), rows,
+            title=f"Normalized execution time ({baseline} = 1.0)")
+        return {"dataset": rows, "rendered": rendered}
+
+    artifact = lane.get_or_compute(
+        kind="grid.normalized",
+        cell_keys=list(grid.cell_keys()),
+        # cell_keys is a sorted set; the table's row/column order (and
+        # the baseline, always column 0) is pinned here.
+        params={"designs": list(grid.designs),
+                "benchmarks": list(grid.benchmarks)},
+        compute=compute_table)
+    print(artifact["rendered"])
+    if lane.enabled:
+        print(lane.summary())
     return 0
 
 
@@ -435,27 +471,56 @@ def _cmd_report(args) -> int:
         run_design_grid,
     )
     from repro.analysis.report import build_report
+    from repro.analysis.runner import cache_key, grid_cell_specs
 
     started = _time.perf_counter()
     cache = _grid_cache(args)
+    lane = _derived_lane(args)
     policy, checkpoint, telemetry = _grid_resilience(args)
-    main_grid = run_design_grid(designs=MAIN_DESIGNS, n_refs=args.refs,
-                                workers=args.workers, cache=cache,
-                                policy=policy, checkpoint=checkpoint,
-                                telemetry=telemetry)
-    family_grid = run_design_grid(designs=("SNUCA2",) + TLC_FAMILY,
-                                  n_refs=args.refs,
-                                  workers=args.workers, cache=cache,
-                                  policy=policy, checkpoint=checkpoint,
-                                  telemetry=telemetry)
-    text = build_report(main_grid=main_grid, family_grid=family_grid,
-                        n_refs=args.refs)
+
+    # Every cell either grid would run, fingerprinted without running
+    # anything — this keys the whole rendered document, so a warm lane
+    # serves the report with zero simulation and zero section work.
+    family_designs = ("SNUCA2",) + TLC_FAMILY
+    main_cells, benchmarks = grid_cell_specs(designs=MAIN_DESIGNS,
+                                             n_refs=args.refs)
+    family_cells, _ = grid_cell_specs(designs=family_designs,
+                                      n_refs=args.refs)
+    document_keys = [cache_key(cell) for cell in main_cells + family_cells]
+
+    grids = {}
+
+    def compute_document() -> dict:
+        grids["main"] = run_design_grid(
+            designs=MAIN_DESIGNS, n_refs=args.refs, workers=args.workers,
+            cache=cache, policy=policy, checkpoint=checkpoint,
+            telemetry=telemetry)
+        grids["family"] = run_design_grid(
+            designs=family_designs, n_refs=args.refs, workers=args.workers,
+            cache=cache, policy=policy, checkpoint=checkpoint,
+            telemetry=telemetry)
+        text = build_report(main_grid=grids["main"],
+                            family_grid=grids["family"],
+                            n_refs=args.refs, derived=lane)
+        return {"rendered": text}
+
+    artifact = lane.get_or_compute(
+        kind="report.document",
+        cell_keys=document_keys,
+        params={"n_refs": args.refs},
+        compute=compute_document)
+    text = artifact["rendered"]
+
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"report written to {args.out}")
     else:
         print(text)
+    if not grids:
+        print("report: rendered from derived cache (0 cells simulated)")
+    if lane.enabled:
+        print(lane.summary())
     if telemetry is not None:
         print(f"resilience: {telemetry.summary()}")
     if args.metrics_out:
@@ -464,28 +529,35 @@ def _cmd_report(args) -> int:
         config = {
             "n_refs": args.refs,
             "main_designs": list(MAIN_DESIGNS),
-            "family_designs": ["SNUCA2"] + list(TLC_FAMILY),
-            "benchmarks": list(main_grid.benchmarks),
+            "family_designs": list(family_designs),
+            "benchmarks": list(benchmarks),
             "workers": args.workers,
             "cached": cache is not None,
+            "derived_cached": lane.enabled,
             "retries": args.retries,
             "cell_timeout_s": args.cell_timeout,
             "checkpoint": args.checkpoint,
         }
-        metrics = {"main": _grid_manifest_section(main_grid),
-                   "family": _grid_manifest_section(family_grid)}
+        # Per-cell sections exist only when the grids actually ran; a
+        # document-warm report simulated nothing to report on.
+        metrics = {}
+        if grids:
+            metrics["main"] = _grid_manifest_section(grids["main"])
+            metrics["family"] = _grid_manifest_section(grids["family"])
+        # Mount the live counters on a registry so the manifest carries
+        # the same runner.* / analysis.derived.* names snapshots use.
+        registry = MetricsRegistry()
+        lane.register(registry)
         if telemetry is not None:
-            # Mount the live runner counter on a registry so the
-            # manifest carries the same runner.* names snapshots use.
-            registry = MetricsRegistry()
             telemetry.register(registry)
-            metrics.update(registry.snapshot())
+        metrics.update(registry.snapshot())
         manifest = build_manifest(
             kind="report",
             config=config,
             metrics=metrics,
             wall_time_s=_time.perf_counter() - started,
             resilience=telemetry.as_dict() if telemetry is not None else None,
+            derived=lane.as_dict(),
         )
         save_manifest(args.metrics_out, manifest)
         print(f"report manifest written to {args.metrics_out}")
@@ -691,6 +763,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "cells already simulated (by any command "
                            "sharing the directory) are reused")
     _add_resilience_flags(grid)
+    _add_derived_flags(grid)
     grid.set_defaults(func=_cmd_grid)
 
     report = sub.add_parser("report", help="full measured-vs-paper report")
@@ -707,6 +780,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "numbers, wall times, cache hits, resilience "
                              "counters) as JSON")
     _add_resilience_flags(report)
+    _add_derived_flags(report)
     report.set_defaults(func=_cmd_report)
 
     perf = sub.add_parser(
@@ -744,6 +818,19 @@ def _cmd_perf_dispatch(args) -> int:
     if args.list_only:
         return _cmd_perf_list(args)
     return _cmd_perf(args)
+
+
+def _add_derived_flags(parser: argparse.ArgumentParser) -> None:
+    """The derived-artifact lane flags shared by ``grid`` and ``report``."""
+    parser.add_argument("--derived-cache-dir", metavar="DIR",
+                        help="cache derived artifacts (report sections, "
+                             "rendered tables) here, keyed by the result "
+                             "cells they were computed from; a warm "
+                             "report re-renders with zero simulation")
+    parser.add_argument("--no-derived-cache", action="store_true",
+                        help="never read or write derived artifacts, even "
+                             "when --cache-dir implies a lane at "
+                             "<cache-dir>/derived")
 
 
 def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:

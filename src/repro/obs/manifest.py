@@ -101,6 +101,13 @@ class RunManifest:
     #: runs of the same cell measure the same thing, so this is
     #: excluded from :func:`diff_manifests`.
     sanitizer: Optional[Dict[str, Any]] = None
+    #: :meth:`~repro.analysis.derived.DerivedLane.as_dict` — the
+    #: derived-artifact cache lane's hit/miss/store/quarantine counts
+    #: and ``ANALYSIS_VERSION`` — when a report or grid command routed
+    #: its analysis through the lane.  Execution provenance (the lane
+    #: is optimization-only; warm and cold runs measure the same
+    #: thing), so excluded from :func:`diff_manifests`.
+    derived: Optional[Dict[str, Any]] = None
 
 
 def build_manifest(kind: str, config: Dict[str, Any],
@@ -112,7 +119,8 @@ def build_manifest(kind: str, config: Dict[str, Any],
                    result: Optional[Dict[str, Any]] = None,
                    trace: Optional[Dict[str, Any]] = None,
                    resilience: Optional[Dict[str, Any]] = None,
-                   sanitizer: Optional[Dict[str, Any]] = None) -> RunManifest:
+                   sanitizer: Optional[Dict[str, Any]] = None,
+                   derived: Optional[Dict[str, Any]] = None) -> RunManifest:
     """Assemble a manifest, stamping the config digest and code version."""
     return RunManifest(
         schema=SCHEMA_VERSION,
@@ -129,6 +137,7 @@ def build_manifest(kind: str, config: Dict[str, Any],
         trace=trace,
         resilience=resilience,
         sanitizer=sanitizer,
+        derived=derived,
     )
 
 

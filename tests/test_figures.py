@@ -63,8 +63,14 @@ class TestGroupedBarChart:
         assert "0.00" in chart
 
     def test_empty_series_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="at least one series"):
             grouped_bar_chart({}, ["a"])
+
+    def test_empty_categories_rejected(self):
+        """Regression: used to escape as a bare ``max() arg is an empty
+        sequence`` from the label-width computation."""
+        with pytest.raises(ValueError, match="at least one category"):
+            grouped_bar_chart({"TLC": {"gcc": 1.0}}, [])
 
 
 class TestSparkline:
@@ -87,3 +93,19 @@ class TestSparkline:
         text = latency_histogram_sparkline(h, width=10)
         strip = text.split("] ")[1].split(" [")[0]
         assert strip[0] == "@"  # peak shade at the concentrated bucket
+
+    def test_unsorted_mapping_matches_histogram(self):
+        """Regression: low/high came from the first/last of ``items()``
+        unsorted, so an insertion-ordered mapping (a manifest's bins, a
+        hand-built dict) crashed on a negative bucket index or rendered
+        a garbage range."""
+        from types import SimpleNamespace
+
+        h = Histogram()
+        for value, count in ((10, 3), (40, 1), (25, 2)):
+            h.record(value, count)
+        unsorted = SimpleNamespace(
+            items=lambda: [(40, 1), (10, 3), (25, 2)], mean=h.mean)
+        rendered = latency_histogram_sparkline(unsorted, width=12)
+        assert rendered == latency_histogram_sparkline(h, width=12)
+        assert "[  10 cycles]" in rendered and "[40 cycles]" in rendered

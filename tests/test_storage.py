@@ -112,3 +112,86 @@ class TestCoverageValidation:
         path = tmp_path / "grid.json"
         save_grid(str(path), small_grid)
         assert load_grid(str(path)).results == small_grid.results
+
+
+def _result_with_stats(stats):
+    """A minimal result differing only in its ``stats`` mapping."""
+    from tests.test_derived import make_result
+    import dataclasses
+
+    return dataclasses.replace(make_result("TLC", "gcc", 0), stats=stats)
+
+
+class TestStatsKeyFidelity:
+    """Regression: JSON object keys are always strings, so the v1
+    encoding silently converted integer stat keys (per-distance or
+    per-bank breakdowns) to strings — a saved-then-loaded grid compared
+    unequal to the grid that produced it."""
+
+    def test_integer_keys_survive_roundtrip(self):
+        result = _result_with_stats({0: 10, 7: 3, "close_hits": 5})
+        restored = result_from_dict(result_to_dict(result))
+        assert restored == result
+        assert restored.stats == {0: 10, 7: 3, "close_hits": 5}
+        assert all(isinstance(k, type(orig))
+                   for k, orig in zip(sorted(restored.stats, key=str),
+                                      sorted(result.stats, key=str)))
+
+    def test_grid_roundtrip_with_integer_keys(self, tmp_path):
+        from repro.analysis.experiments import ExperimentGrid
+
+        grid = ExperimentGrid(
+            ("TLC",), ("gcc",),
+            {("TLC", "gcc"): _result_with_stats({3: 1, 12: 4})})
+        path = str(tmp_path / "grid.json")
+        save_grid(path, grid)
+        assert load_grid(path).results == grid.results
+
+    def test_legacy_v1_document_still_loads(self, tmp_path):
+        """v1 documents encoded stats as a JSON object; keep reading
+        them (their stringified keys are unrecoverable and kept as-is)."""
+        import json
+
+        result = _result_with_stats({"close_hits": 5})
+        path = tmp_path / "grid.json"
+        legacy_payload = result_to_dict(result)
+        legacy_payload["stats"] = {"close_hits": 5}  # v1 object form
+        path.write_text(json.dumps({
+            "format_version": 1,
+            "designs": ["TLC"],
+            "benchmarks": ["gcc"],
+            "cells": [{"design": "TLC", "benchmark": "gcc",
+                       "result": legacy_payload}],
+        }))
+        loaded = load_grid(str(path))
+        assert loaded.results[("TLC", "gcc")].stats == {"close_hits": 5}
+
+    def test_malformed_pair_list_rejected(self):
+        result = _result_with_stats({"a": 1})
+        payload = result_to_dict(result)
+        payload["stats"] = [["a", 1, "extra"]]
+        with pytest.raises(ValueError, match="malformed stats pair"):
+            result_from_dict(payload)
+        payload["stats"] = "not-a-mapping"
+        with pytest.raises(ValueError, match="pair list"):
+            result_from_dict(payload)
+
+    def test_property_arbitrary_stats_roundtrip(self):
+        from hypothesis import given, settings, strategies as st
+
+        keys = st.one_of(st.integers(min_value=-10**6, max_value=10**6),
+                         st.text(min_size=0, max_size=20))
+        values = st.one_of(st.integers(min_value=-10**9, max_value=10**9),
+                           st.floats(allow_nan=False, allow_infinity=False))
+        stats_dicts = st.dictionaries(keys, values, max_size=12)
+
+        @given(stats=stats_dicts)
+        @settings(max_examples=60, deadline=None)
+        def roundtrip(stats):
+            result = _result_with_stats(stats)
+            restored = result_from_dict(result_to_dict(result))
+            assert restored == result
+            assert {type(k) for k in restored.stats} == {
+                type(k) for k in stats}
+
+        roundtrip()

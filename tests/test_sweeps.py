@@ -77,6 +77,32 @@ class TestSweepRunnerIntegration:
         assert warm_cache.hits == 2 and warm_cache.stores == 0
 
 
+class TestWarmupFractionThreading:
+    """Regression: the sweeps ignored ``warmup_fraction`` — every cell
+    silently ran at the CellSpec default regardless of the argument."""
+
+    def test_dependence_sweep_threads_warmup_into_cells(self, tmp_path):
+        from repro.analysis.runner import ResultCache
+
+        kwargs = dict(fractions=(0.5,), designs=("TLC",), n_refs=1_500)
+        cache = ResultCache(tmp_path)
+        dependence_sweep(warmup_fraction=0.3, cache=cache, **kwargs)
+        assert cache.stores == 1
+        dependence_sweep(warmup_fraction=0.0, cache=cache, **kwargs)
+        # A different warmup is a different cell: no hit, a second store.
+        assert cache.stores == 2 and cache.hits == 0
+
+    def test_memory_sweep_threads_warmup_into_cells(self, tmp_path):
+        from repro.analysis.runner import ResultCache
+
+        kwargs = dict(benchmark="gcc", latencies=(300,), designs=("TLC",),
+                      n_refs=1_500)
+        cache = ResultCache(tmp_path)
+        memory_latency_sweep(warmup_fraction=0.3, cache=cache, **kwargs)
+        memory_latency_sweep(warmup_fraction=0.1, cache=cache, **kwargs)
+        assert cache.stores == 2 and cache.hits == 0
+
+
 class TestDependenceSweep:
     @pytest.fixture(scope="class")
     def sweep(self):
