@@ -40,15 +40,45 @@ class CacheCorruptionError(ValueError):
     """
 
 
+def _digest_canonical(value):
+    """A JSON-able image of ``value`` that keeps dict-key types apart.
+
+    ``json.dumps`` stringifies non-string dictionary keys, so a naive
+    canonical encoding would hash ``{0: 3}`` and ``{"0": 3}`` — two
+    different results — to the same digest (and crash outright on a
+    dict mixing int and str keys under ``sort_keys=True``).  Every dict
+    is therefore rewritten as ``{"__dict__": [[key, value], ...]}``
+    with the pairs sorted by the compact JSON encoding of their
+    (recursively canonicalized) key: keys stay JSON values of their own
+    type, sorting never compares ints to strings, and the single-key
+    ``__dict__`` wrapper cannot collide with any list or scalar a
+    payload could contain.
+    """
+    if isinstance(value, dict):
+        pairs = [[_digest_canonical(key), _digest_canonical(val)]
+                 for key, val in value.items()]
+        pairs.sort(key=lambda pair: json.dumps(pair[0], sort_keys=True,
+                                               separators=(",", ":")))
+        return {"__dict__": pairs}
+    if isinstance(value, (list, tuple)):
+        return [_digest_canonical(item) for item in value]
+    return value
+
+
 def integrity_digest(result_payload: dict) -> str:
     """SHA-256 over the canonical JSON encoding of one result payload.
 
     Stored alongside every cache entry so bit rot *inside* an otherwise
     well-formed JSON document (a flipped digit survives both
     ``json.load`` and field validation) is still detected at read time.
+    The canonical form (see :func:`_digest_canonical`) is key-type
+    aware, so payloads differing only in the type of a nested dict key
+    never share a digest — a hand-built grid's ``content:`` fallback
+    fingerprint (:meth:`~repro.analysis.experiments.ExperimentGrid.cell_keys`)
+    depends on that.
     """
-    canonical = json.dumps(result_payload, sort_keys=True,
-                           separators=(",", ":"))
+    canonical = json.dumps(_digest_canonical(result_payload),
+                           sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 

@@ -240,3 +240,44 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
         if i == 0:
             lines.append("  ".join("-" * width for width in widths))
     return "\n".join(lines)
+
+
+def normalized_time_rows(grid) -> List[list]:
+    """Normalized-execution-time rows for a whole grid.
+
+    ``[benchmark, <time normalized to the grid's first design>...]`` —
+    the dataset behind ``repro grid``'s summary table and the service's
+    job-result document.  The baseline is always the grid's first
+    design, so the rows (and the derived-lane key built from them) are
+    a pure function of the grid.
+    """
+    baseline = grid.designs[0]
+    return [[bench] + [
+        round(grid.normalized_execution_time(design, bench, baseline), 3)
+        for design in grid.designs
+    ] for bench in grid.benchmarks]
+
+
+def normalized_time_artifact(grid, lane) -> dict:
+    """The ``grid.normalized`` derived artifact for ``grid``, via ``lane``.
+
+    ``{"dataset": rows, "rendered": ascii table}`` routed through the
+    derived-artifact lane under one well-known key space — the CLI
+    ``grid`` command and the job service both call this, so a lane
+    warmed by either answers the other.
+    """
+    def compute() -> dict:
+        rows = normalized_time_rows(grid)
+        rendered = format_table(
+            ["benchmark"] + list(grid.designs), rows,
+            title=f"Normalized execution time ({grid.designs[0]} = 1.0)")
+        return {"dataset": rows, "rendered": rendered}
+
+    return lane.get_or_compute(
+        kind="grid.normalized",
+        cell_keys=list(grid.cell_keys()),
+        # cell_keys is a sorted set; the table's row/column order (and
+        # the baseline, always column 0) is pinned here.
+        params={"designs": list(grid.designs),
+                "benchmarks": list(grid.benchmarks)},
+        compute=compute)

@@ -413,27 +413,10 @@ def _cmd_grid(args) -> int:
         save_grid(args.save, grid)
         print(f"grid saved to {args.save}")
 
+    from repro.analysis.tables import normalized_time_artifact
+
     lane = _derived_lane(args)
-    baseline = grid.designs[0]
-
-    def compute_table() -> dict:
-        rows = [[bench] + [
-            round(grid.normalized_execution_time(design, bench, baseline), 3)
-            for design in grid.designs
-        ] for bench in grid.benchmarks]
-        rendered = format_table(
-            ["benchmark"] + list(grid.designs), rows,
-            title=f"Normalized execution time ({baseline} = 1.0)")
-        return {"dataset": rows, "rendered": rendered}
-
-    artifact = lane.get_or_compute(
-        kind="grid.normalized",
-        cell_keys=list(grid.cell_keys()),
-        # cell_keys is a sorted set; the table's row/column order (and
-        # the baseline, always column 0) is pinned here.
-        params={"designs": list(grid.designs),
-                "benchmarks": list(grid.benchmarks)},
-        compute=compute_table)
+    artifact = normalized_time_artifact(grid, lane)
     print(artifact["rendered"])
     if lane.enabled:
         print(lane.summary())
@@ -811,7 +794,64 @@ def build_parser() -> argparse.ArgumentParser:
                       help="list benchmark names and exit")
     perf.set_defaults(func=_cmd_perf_dispatch)
 
+    serve = sub.add_parser(
+        "serve", help="run the HTTP/JSON job API over the grid runner "
+                      "(see docs/SERVICE.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks a free one (default: 8765)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads sharding job cells (default: 2)")
+    serve.add_argument("--cache-dir",
+                       help="content-addressed result cache shared by every "
+                            "job (and with grid/report runs); without it "
+                            "dedupe only spans this process's lifetime")
+    serve.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="journal each job's completed cells under DIR "
+                            "(one JSONL file per job) for crash resume")
+    serve.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry a failed, crashed, or timed-out cell up "
+                            "to N times (routes cells through the resilient "
+                            "process-per-cell executor)")
+    serve.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill and reschedule any cell attempt running "
+                            "longer than this")
+    _add_derived_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
+
     return parser
+
+
+def _cmd_serve(args) -> int:
+    from repro.analysis.resilience import RetryPolicy
+    from repro.service import JobStore, make_server
+
+    policy = None
+    if args.retries or args.cell_timeout or args.checkpoint_dir:
+        policy = RetryPolicy(max_retries=args.retries,
+                             cell_timeout_s=args.cell_timeout,
+                             backoff_base_s=0.5)
+    store = JobStore(cache=_grid_cache(args), derived=_derived_lane(args),
+                     workers=args.workers, policy=policy,
+                     checkpoint_dir=args.checkpoint_dir)
+    server = make_server(store, host=args.host, port=args.port, quiet=False)
+    host, port = server.server_address[:2]
+    print(f"repro service on http://{host}:{port} "
+          f"({args.workers} worker(s), "
+          f"cache={'on' if args.cache_dir else 'off'}, "
+          f"derived={'on' if store.lane.enabled else 'off'})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        store.close()
+    return 0
 
 
 def _cmd_perf_dispatch(args) -> int:

@@ -1,0 +1,39 @@
+"""Simulation-as-a-service: an HTTP/JSON job API over the grid runner.
+
+The service wraps the whole prior stack — designs
+(:mod:`repro.core.config`), the resilient grid executor and
+content-addressed result cache (:mod:`repro.analysis.runner`,
+:mod:`repro.analysis.resilience`), the derived-artifact lane
+(:mod:`repro.analysis.derived`), and observability
+(:mod:`repro.obs`) — behind five endpoints so many concurrent clients
+share one result store.  Stdlib only; see ``docs/SERVICE.md``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobStore, job_key
+from repro.service.schema import (
+    ENDPOINTS,
+    ERROR_CODES,
+    JOB_SPEC_SCHEMA,
+    SERVICE_SCHEMA_VERSION,
+    JobSpec,
+    validate_job_spec,
+)
+from repro.service.server import ServiceHandler, make_server, serve
+
+__all__ = [
+    "ENDPOINTS",
+    "ERROR_CODES",
+    "JOB_SPEC_SCHEMA",
+    "SERVICE_SCHEMA_VERSION",
+    "Job",
+    "JobSpec",
+    "JobStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandler",
+    "job_key",
+    "make_server",
+    "serve",
+    "validate_job_spec",
+]

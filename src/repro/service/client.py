@@ -1,0 +1,124 @@
+"""Minimal stdlib client for the simulation service.
+
+Used by ``examples/service_client.py``, the test suite, and the CI
+smoke job — anything that talks to ``repro serve`` without pulling in
+an HTTP library.  Error envelopes become :class:`ServiceError` (with
+the machine-readable ``code``); everything else returns parsed JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response, carrying the error envelope."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 detail: Optional[str] = None) -> None:
+        text = f"HTTP {status} {code}: {message}"
+        if detail:
+            text += f" ({detail})"
+        super().__init__(text)
+        self.status = status
+        self.code = code
+        self.detail = detail
+
+
+class ServiceClient:
+    """One service endpoint (``http://host:port``) as Python calls."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ---------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Tuple[int, bytes]:
+        data = (json.dumps(body).encode() if body is not None else None)
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, error.read()
+
+    def _json(self, method: str, path: str,
+              body: Optional[dict] = None) -> Tuple[int, Any]:
+        status, raw = self._request(method, path, body)
+        document = json.loads(raw) if raw else None
+        if isinstance(document, dict) and "error" in document:
+            envelope = document["error"]
+            raise ServiceError(status, envelope.get("code", "unknown"),
+                               envelope.get("message", ""),
+                               envelope.get("detail"))
+        return status, document
+
+    # -- API ---------------------------------------------------------------
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a job spec; the returned status document includes
+        ``deduplicated`` (True when an identical job already existed)."""
+        status, document = self._json("POST", "/v1/jobs", spec)
+        document["_http_status"] = status
+        return document
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/v1/jobs/{job_id}")[1]
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The finished job's frozen result document, verbatim.
+
+        Raises :class:`ServiceError` if the job failed (code
+        ``job_failed``) or is still running (code ``pending`` — the
+        202 envelope); callers normally :meth:`wait` first.
+        """
+        status, raw = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status != 200:
+            document = json.loads(raw) if raw else {}
+            if isinstance(document, dict) and "error" in document:
+                envelope = document["error"]
+                raise ServiceError(status, envelope.get("code", "unknown"),
+                                   envelope.get("message", ""),
+                                   envelope.get("detail"))
+            raise ServiceError(status, "pending", "job is still running")
+        return raw
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return json.loads(self.result_bytes(job_id))
+
+    def artifact(self, key: str) -> Dict[str, Any]:
+        return self._json("GET", f"/v1/artifacts/{key}")[1]
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/healthz")[1]
+
+    def wait(self, job_id: str, timeout_s: float = 300.0,
+             poll_s: float = 0.1) -> Dict[str, Any]:
+        """Poll until the job leaves the queue; returns final status."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            document = self.status(job_id)
+            if document["state"] in ("done", "failed"):
+                return document
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {document['state']} after "
+                    f"{timeout_s}s ({document['cells']})")
+            time.sleep(poll_s)
+
+    def run(self, spec: Dict[str, Any],
+            timeout_s: float = 300.0) -> Dict[str, Any]:
+        """Submit, wait, and return the parsed result document."""
+        submitted = self.submit(spec)
+        status = self.wait(submitted["id"], timeout_s=timeout_s)
+        if status["state"] != "done":
+            raise ServiceError(409, "job_failed", "job failed",
+                               status.get("error"))
+        return self.result(submitted["id"])

@@ -1,0 +1,504 @@
+"""Job model and worker pool behind the simulation service.
+
+A *job* is one validated design x benchmark grid
+(:class:`~repro.service.schema.JobSpec`).  The :class:`JobStore` owns
+every job the service has seen and a pool of worker threads that shard
+each job's cells across the existing execution stack:
+
+* every cell runs through
+  :func:`repro.analysis.runner.execute_cells_detailed` against one
+  shared content-addressed :class:`~repro.analysis.runner.ResultCache`,
+  so concurrent clients never simulate the same cell twice;
+* a :class:`~repro.analysis.resilience.RetryPolicy` (from ``repro serve
+  --retries/--cell-timeout``) routes cells through the fault-tolerant
+  executor — per-cell child processes, timeouts, retries — and a
+  per-job checkpoint journal makes an interrupted job resumable;
+* identical submissions dedupe **before** any work happens: the job key
+  is a digest of the grid's cell result-cache keys (each of which
+  already embeds every simulation input plus the code-version stamp),
+  so a repeat ``POST`` maps onto the existing job and its frozen result
+  bytes.  Submissions that are new to this process but whose cells are
+  already in the result cache complete with zero cells simulated — the
+  second dedupe layer, which survives server restarts.
+
+Progress and health are observable: the store's ``service.*`` counter
+and a store-wide :class:`~repro.analysis.resilience.RunnerTelemetry`
+(``runner.*``) mount on one :class:`~repro.obs.registry.MetricsRegistry`
+alongside the derived lane's ``analysis.derived.*`` counts, and every
+finished job embeds a :class:`~repro.obs.manifest.RunManifest`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import queue
+import threading
+import time as _time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.derived import DerivedLane, as_lane, derived_key
+from repro.analysis.experiments import (
+    ExperimentGrid,
+    MAIN_DESIGNS,
+    TLC_FAMILY,
+)
+from repro.analysis.runner import (
+    CellSpec,
+    as_cache,
+    cache_key,
+    execute_cells_detailed,
+    grid_cell_specs,
+)
+from repro.obs.manifest import build_manifest, manifest_to_dict
+from repro.obs.registry import MetricsRegistry
+from repro.service.schema import SERVICE_SCHEMA_VERSION, JobSpec
+from repro.sim.stats import Counter
+
+#: Lifecycle of a job.  queued -> running -> done | failed.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: The ``service.*`` counts the store maintains.
+SERVICE_COUNTS = (
+    "jobs_submitted", "jobs_deduplicated", "jobs_completed", "jobs_failed",
+    "cells_simulated", "cells_from_cache", "cells_failed",
+    "requests", "errors", "artifacts_served",
+)
+
+#: Which design sets satisfy a report section's named grid slice when
+#: the slice declares "the whole grid" (designs=None) — the canonical
+#: grids ``repro report`` runs.
+_CANONICAL_SLICE_DESIGNS = {
+    "main": frozenset(MAIN_DESIGNS),
+    "family": frozenset(("SNUCA2",) + TLC_FAMILY),
+}
+
+
+def job_key(spec: JobSpec) -> str:
+    """Content key of one job: a digest over its cells' result-cache keys.
+
+    Each cell key already embeds every simulation input plus the
+    code-version stamp, so two submissions share a job key iff they
+    would simulate the identical grid with the identical code —
+    the dedupe contract.  Designs/benchmarks are included in request
+    order because the result document's tables are ordered.
+    """
+    cells, benchmarks = grid_cell_specs(
+        designs=spec.designs, benchmarks=spec.benchmarks, n_refs=spec.n_refs,
+        seed=spec.seed, warmup_fraction=spec.warmup_fraction,
+        sanitize=spec.sanitize)
+    payload = {
+        "schema": SERVICE_SCHEMA_VERSION,
+        "designs": list(spec.designs),
+        "benchmarks": list(benchmarks),
+        "cells": sorted(cache_key(cell) for cell in cells),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class Job:
+    """One submitted grid job and its live progress.
+
+    Mutable fields are guarded by the owning store's lock; the result
+    document is rendered exactly once (at completion) and frozen as
+    canonical JSON bytes, so every subsequent — and every deduplicated —
+    read returns the identical bytes.
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec,
+                 cells: List[CellSpec]) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.cells = cells
+        self.cell_keys = [cache_key(cell) for cell in cells]
+        self.state = "queued"
+        self.error: Optional[str] = None
+        self.created_s = _time.time()
+        self.finished_s: Optional[float] = None
+        self._started = _time.perf_counter()
+        self.wall_time_s: Optional[float] = None
+        # Serializes this job's cells around its (single-handle,
+        # append-only) checkpoint journal; unused without checkpointing.
+        self._exec_lock = threading.Lock()
+        self.cell_status: List[Dict[str, Any]] = [
+            {"design": cell.design, "benchmark": cell.benchmark,
+             "state": "pending", "from_cache": None, "wall_time_s": None,
+             "attempts": 0}
+            for cell in cells
+        ]
+        self.outcomes: List[Optional[Any]] = [None] * len(cells)
+        self.result_bytes: Optional[bytes] = None
+        self.manifest: Optional[dict] = None
+
+    # -- derived views (call under the store lock) -------------------------
+    def progress(self) -> Dict[str, int]:
+        counts = {"total": len(self.cells), "pending": 0, "running": 0,
+                  "done": 0, "failed": 0, "simulated": 0, "from_cache": 0}
+        for status in self.cell_status:
+            counts[status["state"]] += 1
+            if status["state"] == "done":
+                counts["from_cache" if status["from_cache"]
+                       else "simulated"] += 1
+        return counts
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec.as_dict(),
+            "created_unix_s": round(self.created_s, 3),
+            "cells": self.progress(),
+            "cell_status": [dict(status) for status in self.cell_status],
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.wall_time_s is not None:
+            doc["wall_time_s"] = round(self.wall_time_s, 4)
+        if self.manifest is not None:
+            doc["manifest"] = self.manifest
+        if self.state == "done":
+            doc["result"] = f"/v1/jobs/{self.id}/result"
+        return doc
+
+
+class JobStore:
+    """Owns jobs, the worker pool, and the two cache lanes.
+
+    ``workers`` threads drain one shared cell queue, so a large job's
+    cells interleave with a small job's (no head-of-line blocking) and
+    cells of one job run concurrently.  With a ``policy`` each cell
+    attempt runs in its own child process (the resilient executor),
+    which also buys real CPU parallelism; without one, cells run
+    in-thread on the fast path.
+    """
+
+    def __init__(self, cache=None, derived=None, workers: int = 2,
+                 policy=None, checkpoint_dir=None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        from repro.analysis.resilience import RunnerTelemetry
+
+        self.cache = as_cache(cache)
+        self.lane: DerivedLane = as_lane(derived)
+        self.policy = policy
+        self.checkpoint_dir = checkpoint_dir
+        self.workers = max(1, int(workers))
+        self.telemetry = RunnerTelemetry()
+        self.counter = Counter()
+        for name in SERVICE_COUNTS:
+            self.counter.add(name, 0)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry.register("service", self.counter)
+        self.telemetry.register(self.registry)
+        self.lane.register(self.registry)
+
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._by_key: Dict[str, str] = {}
+        self._journals: Dict[str, Any] = {}
+        self._queue: "queue.Queue[Optional[Tuple[Job, int]]]" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"repro-service-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def close(self) -> None:
+        """Stop accepting work and join the workers."""
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self._threads = []
+        with self._lock:
+            self._started = False
+
+    # -- submission --------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Tuple[Job, bool]:
+        """Register (or dedupe) one job; returns ``(job, created)``.
+
+        ``created=False`` means an identical grid was already submitted
+        to this store — the caller gets the existing job, whatever its
+        state, and zero new work is enqueued.
+        """
+        key = job_key(spec)
+        with self._lock:
+            existing = self._by_key.get(key)
+            if existing is not None:
+                self.counter.add("jobs_deduplicated")
+                return self._jobs[existing], False
+            cells, benchmarks = grid_cell_specs(
+                designs=spec.designs, benchmarks=spec.benchmarks,
+                n_refs=spec.n_refs, seed=spec.seed,
+                warmup_fraction=spec.warmup_fraction, sanitize=spec.sanitize)
+            spec = JobSpec(designs=spec.designs, benchmarks=benchmarks,
+                           n_refs=spec.n_refs, seed=spec.seed,
+                           warmup_fraction=spec.warmup_fraction,
+                           sanitize=spec.sanitize)
+            job = Job(f"job-{key[:16]}", spec, cells)
+            self._jobs[job.id] = job
+            self._by_key[key] = job.id
+            self.counter.add("jobs_submitted")
+        self.start()
+        for index in range(len(cells)):
+            self._queue.put((job, index))
+        return job, True
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs_by_state(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    # -- execution ---------------------------------------------------------
+    def _checkpoint_for(self, job: Job):
+        """The job's checkpoint journal (shared across its cells)."""
+        if self.checkpoint_dir is None:
+            return None
+        from repro.analysis.resilience import CheckpointJournal
+
+        with self._lock:
+            journal = self._journals.get(job.id)
+            if journal is None:
+                os.makedirs(self.checkpoint_dir, exist_ok=True)
+                journal = CheckpointJournal(
+                    os.path.join(self.checkpoint_dir, f"{job.id}.ckpt"))
+                self._journals[job.id] = journal
+        return journal
+
+    def _worker_loop(self) -> None:
+        while True:
+            unit = self._queue.get()
+            if unit is None:
+                return
+            job, index = unit
+            try:
+                self._run_cell(job, index)
+            finally:
+                self._queue.task_done()
+
+    def _run_cell(self, job: Job, index: int) -> None:
+        cell = job.cells[index]
+        with self._lock:
+            if job.state == "queued":
+                job.state = "running"
+            job.cell_status[index]["state"] = "running"
+        checkpoint = self._checkpoint_for(job)
+        # A shared checkpoint journal is append-only through one file
+        # handle; serialize the job's cells around it.  Without
+        # checkpointing, cells of one job run fully concurrently.
+        guard = job._exec_lock if checkpoint is not None else _NULL_GUARD
+        try:
+            with guard:
+                (outcome,) = execute_cells_detailed(
+                    [cell], workers=1, cache=self.cache, policy=self.policy,
+                    checkpoint=checkpoint, telemetry=self.telemetry)
+        except Exception as error:  # noqa: BLE001 — any failure fails the cell
+            with self._lock:
+                job.cell_status[index].update(
+                    state="failed", attempts=getattr(error, "attempts", 1))
+                job.error = (f"cell ({cell.design}, {cell.benchmark}): "
+                             f"{error}")
+                self.counter.add("cells_failed")
+                self._maybe_finish(job)
+            return
+        with self._lock:
+            job.outcomes[index] = outcome
+            job.cell_status[index].update(
+                state="done", from_cache=outcome.from_cache,
+                wall_time_s=round(outcome.wall_time_s, 4),
+                attempts=outcome.attempts)
+            self.counter.add("cells_from_cache" if outcome.from_cache
+                             else "cells_simulated")
+            self._maybe_finish(job)
+
+    def _maybe_finish(self, job: Job) -> None:
+        """Finalize ``job`` once no cell is pending (call under lock)."""
+        if any(status["state"] in ("pending", "running")
+               for status in job.cell_status):
+            return
+        job.wall_time_s = _time.perf_counter() - job._started
+        job.finished_s = _time.time()
+        if any(status["state"] == "failed" for status in job.cell_status):
+            job.state = "failed"
+            self.counter.add("jobs_failed")
+        else:
+            try:
+                job.result_bytes = self._render_result(job)
+                job.state = "done"
+                self.counter.add("jobs_completed")
+            except Exception as error:  # pragma: no cover — render bug guard
+                job.state = "failed"
+                job.error = f"result rendering failed: {error}"
+                self.counter.add("jobs_failed")
+        job.manifest = self._job_manifest(job)
+
+    # -- result rendering --------------------------------------------------
+    def _grid_for(self, job: Job) -> ExperimentGrid:
+        results = {}
+        cell_meta = {}
+        for cell, key, outcome in zip(job.cells, job.cell_keys,
+                                      job.outcomes):
+            coordinate = (cell.design, cell.benchmark)
+            results[coordinate] = outcome.result
+            cell_meta[coordinate] = {
+                "wall_time_s": outcome.wall_time_s,
+                "from_cache": outcome.from_cache,
+                "attempts": outcome.attempts,
+                "from_checkpoint": outcome.from_checkpoint,
+                "l2_hits": outcome.result.l2_hits,
+                "l2_misses": outcome.result.l2_misses,
+                "cache_key": key,
+            }
+        return ExperimentGrid(job.spec.designs, job.spec.benchmarks,
+                              results, cell_meta=cell_meta)
+
+    def _render_result(self, job: Job) -> bytes:
+        """The frozen, deterministic result document for a finished job.
+
+        Everything here is a pure function of the job's cells (floats
+        round-trip JSON exactly), so identical grids — whether deduped
+        in-process or resubmitted to a restarted server over one result
+        cache — produce byte-identical documents.  Execution provenance
+        (wall times, cache hits) deliberately lives in the *status*
+        document, not here.
+        """
+        from repro.analysis.tables import normalized_time_artifact
+
+        grid = self._grid_for(job)
+        cells: Dict[str, Dict[str, Any]] = {}
+        for design in grid.designs:
+            for benchmark in grid.benchmarks:
+                result = grid.result(design, benchmark)
+                cells.setdefault(design, {})[benchmark] = {
+                    "cycles": result.cycles,
+                    "instructions": result.instructions,
+                    "ipc": result.ipc,
+                    "l2_requests": result.l2_requests,
+                    "l2_hits": result.l2_hits,
+                    "l2_misses": result.l2_misses,
+                    "l2_miss_ratio": result.miss_ratio,
+                    "misses_per_kinstr": result.misses_per_kinstr,
+                    "mean_lookup_latency": result.mean_lookup_latency,
+                    "predictable_lookup_fraction":
+                        result.predictable_lookup_fraction,
+                    "banks_accessed_per_request":
+                        result.banks_accessed_per_request,
+                    "link_utilization": result.link_utilization,
+                    "network_power_w": result.network_power_w,
+                }
+        normalized = normalized_time_artifact(grid, self.lane)
+        document = {
+            "schema": SERVICE_SCHEMA_VERSION,
+            "job_id": job.id,
+            "spec": job.spec.as_dict(),
+            "designs": list(grid.designs),
+            "benchmarks": list(grid.benchmarks),
+            "cells": cells,
+            "normalized_time": normalized,
+            "artifacts": {
+                "grid.normalized": derived_key(
+                    "grid.normalized", grid.cell_keys(),
+                    {"designs": list(grid.designs),
+                     "benchmarks": list(grid.benchmarks)}),
+            },
+            "sections": self._section_availability(grid),
+        }
+        return json.dumps(document, sort_keys=True,
+                          separators=(",", ":")).encode()
+
+    def _section_availability(self, grid: ExperimentGrid) -> Dict[str, Any]:
+        """Warm report sections this grid's cells can answer.
+
+        For every :data:`~repro.analysis.report.REPORT_SECTIONS` entry
+        whose grid slice the job's designs cover, report the derived
+        key — and, when the lane already holds the artifact (typically
+        warmed by a ``repro report`` run over the same cache), serve it
+        inline.  Sections are never *computed* here: a job result must
+        not grow the job's work, only surface what is already paid for.
+        """
+        from repro.analysis.report import REPORT_SECTIONS
+
+        grids = {"main": grid, "family": grid}
+        available: Dict[str, Any] = {}
+        job_designs = set(grid.designs)
+        for section in REPORT_SECTIONS:
+            needed = set()
+            for grid_name, designs in section.slices:
+                needed |= (set(designs) if designs is not None
+                           else _CANONICAL_SLICE_DESIGNS[grid_name])
+            if not needed <= job_designs:
+                continue
+            key = derived_key(f"report.{section.name}",
+                              section.cell_keys(grids), None)
+            entry: Dict[str, Any] = {"key": key, "warm": False}
+            if self.lane.cache is not None:
+                artifact = self.lane.cache.get(key)
+                if artifact is not None:
+                    entry.update(warm=True, artifact=artifact)
+            available[section.name] = entry
+        return available
+
+    def _job_manifest(self, job: Job) -> dict:
+        """A RunManifest dict embedded in the finished job's status."""
+        manifest = build_manifest(
+            kind="service.job",
+            config=dict(job.spec.as_dict(), job_id=job.id),
+            metrics=self.registry.snapshot(),
+            wall_time_s=job.wall_time_s or 0.0,
+            seed=job.spec.seed,
+            resilience=self.telemetry.as_dict(),
+            derived=self.lane.as_dict(),
+        )
+        return manifest_to_dict(manifest)
+
+    # -- artifact lookup ---------------------------------------------------
+    def lookup_artifact(self, key: str) -> Optional[Dict[str, Any]]:
+        """One cached artifact by content key, from either lane.
+
+        The derived lane is checked first (its keys are what job
+        results advertise), then the result lane (a cell's result-cache
+        key, as listed in ``cell_status`` / ``RunManifest`` documents).
+        """
+        if self.lane.cache is not None:
+            artifact = self.lane.cache.get(key)
+            if artifact is not None:
+                self.counter.add("artifacts_served")
+                return {"key": key, "lane": "derived", "artifact": artifact}
+        if self.cache is not None:
+            result = self.cache.get(key)
+            if result is not None:
+                from repro.analysis.storage import result_to_dict
+
+                self.counter.add("artifacts_served")
+                return {"key": key, "lane": "result",
+                        "result": result_to_dict(result)}
+        return None
+
+
+class _NullGuard:
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_GUARD = _NullGuard()

@@ -1,0 +1,238 @@
+"""Schema-first definitions for the simulation service's HTTP API.
+
+Following the schemathesis exemplar (ROADMAP item 1), the API surface
+is declared as *data* before any handler exists: :data:`ENDPOINTS`
+enumerates every route with its request/response shapes, and
+:data:`JOB_SPEC_SCHEMA` is the JSON-Schema document for the one
+non-trivial request body — the job spec a ``POST /v1/jobs`` carries.
+``docs/SERVICE.md`` renders from the same definitions the validator
+enforces and the property tests fuzz, so the three can never drift
+apart silently.
+
+Validation is deliberately routed through the design registry:
+:func:`validate_job_spec` resolves every design name to its registered
+:class:`~repro.core.config.DesignConfig` (the object whose
+``__post_init__`` already guarantees a buildable design) and raises the
+same typed :class:`~repro.core.config.ConfigError` for anything
+invalid, so a bad HTTP payload and a bad CLI override fail through one
+error type with one message style.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Tuple
+
+from repro.core.config import ConfigError, get_design, resolve_design_name
+from repro.workloads.profiles import benchmark_names
+
+#: Bump when a response document's layout changes incompatibly.
+SERVICE_SCHEMA_VERSION = 1
+
+#: Service-side guard rails: a long-running shared service must bound
+#: the work one request can demand.  Large grids are submitted as
+#: several jobs; the result cache makes the split free.
+MAX_REFS_PER_CELL = 2_000_000
+MAX_CELLS_PER_JOB = 256
+MAX_SEED = 2**32 - 1
+
+#: JSON Schema for the ``POST /v1/jobs`` request body.  This is the
+#: document SERVICE.md embeds and the Hypothesis suite fuzzes against
+#: :func:`validate_job_spec` — the validator is the executable twin of
+#: this declaration.
+JOB_SPEC_SCHEMA = {
+    "type": "object",
+    "required": ["designs"],
+    "additionalProperties": False,
+    "properties": {
+        "designs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {"type": "string"},
+            "description": "design names (any case/separator spelling); "
+                           "resolved against the Table 2 registry; "
+                           "duplicates rejected; first entry is the "
+                           "normalization baseline",
+        },
+        "benchmarks": {
+            "type": "array",
+            "minItems": 1,
+            "items": {"type": "string"},
+            "description": "calibrated workload profiles; omitted means "
+                           "the full 12-benchmark suite",
+        },
+        "n_refs": {
+            "type": "integer",
+            "minimum": 1,
+            "maximum": MAX_REFS_PER_CELL,
+            "default": 20_000,
+            "description": "L2 references simulated per cell",
+        },
+        "seed": {
+            "type": "integer",
+            "minimum": 0,
+            "maximum": MAX_SEED,
+            "default": 7,
+            "description": "trace-generation seed (identical across "
+                           "designs, like the paper's shared checkpoints)",
+        },
+        "warmup_fraction": {
+            "type": "number",
+            "minimum": 0.0,
+            "exclusiveMaximum": 1.0,
+            "default": 0.3,
+            "description": "leading fraction of each trace excluded "
+                           "from measurement",
+        },
+        "sanitize": {
+            "type": "boolean",
+            "default": False,
+            "description": "run every cell under the simulator-core "
+                           "sanitizer (part of the cell cache key)",
+        },
+    },
+}
+
+#: Every route the service answers, as (method, path template,
+#: one-line summary).  SERVICE.md's endpoint reference and the
+#: route-coverage tests iterate this table.
+ENDPOINTS = (
+    ("POST", "/v1/jobs",
+     "submit a design x benchmark grid job (body: JOB_SPEC_SCHEMA)"),
+    ("GET", "/v1/jobs/{id}",
+     "job status: state, per-cell progress, runner telemetry"),
+    ("GET", "/v1/jobs/{id}/result",
+     "finished job's grid stats + derived-lane artifacts"),
+    ("GET", "/v1/artifacts/{key}",
+     "one cached artifact by content key (derived or result lane)"),
+    ("GET", "/v1/healthz",
+     "liveness + service.* / runner.* / analysis.derived.* metrics"),
+)
+
+#: Machine-readable error codes the JSON error envelope uses.
+ERROR_CODES = {
+    "invalid_json": "request body is not valid JSON",
+    "invalid_spec": "job spec failed validation (ConfigError detail)",
+    "unknown_job": "no job with that id",
+    "job_failed": "the job finished with a permanent cell failure",
+    "unknown_artifact": "no cached artifact under that key",
+    "invalid_key": "artifact key is not a 64-hex-digit content key",
+    "not_found": "no such route",
+    "method_not_allowed": "route exists but not for this HTTP method",
+    "payload_too_large": "request body exceeds the service limit",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """A validated grid-job specification (one ``POST /v1/jobs`` body).
+
+    Construction goes through :func:`validate_job_spec`; fields are
+    normalized (design names resolved to registry spellings, benchmark
+    default expanded) so two spellings of one grid dedupe to one job.
+    """
+
+    designs: Tuple[str, ...]
+    benchmarks: Tuple[str, ...]
+    n_refs: int = 20_000
+    seed: int = 7
+    warmup_fraction: float = 0.3
+    sanitize: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "designs": list(self.designs),
+            "benchmarks": list(self.benchmarks),
+            "n_refs": self.n_refs,
+            "seed": self.seed,
+            "warmup_fraction": self.warmup_fraction,
+            "sanitize": self.sanitize,
+        }
+
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _fail(message: str) -> None:
+    raise ConfigError(f"job spec: {message}")
+
+
+def _validated_names(raw: object, field: str, resolve) -> Tuple[str, ...]:
+    """A tuple of resolved, duplicate-free names for one list field."""
+    if (not isinstance(raw, (list, tuple)) or not raw
+            or not all(isinstance(item, str) for item in raw)):
+        _fail(f"{field} must be a non-empty array of strings, got {raw!r}")
+    resolved = []
+    for item in raw:
+        try:
+            resolved.append(resolve(item))
+        except ValueError as error:
+            raise ConfigError(f"job spec: {error}") from error
+    duplicates = sorted({name for name in resolved
+                         if resolved.count(name) > 1})
+    if duplicates:
+        _fail(f"{field} contains duplicate entries {duplicates} "
+              f"(after name resolution)")
+    return tuple(resolved)
+
+
+def _resolve_benchmark(name: str) -> str:
+    if name not in benchmark_names():
+        raise ValueError(f"unknown benchmark {name!r}; choose from "
+                         f"{sorted(benchmark_names())}")
+    return name
+
+
+def validate_job_spec(payload: object) -> JobSpec:
+    """Validate one ``POST /v1/jobs`` body into a :class:`JobSpec`.
+
+    Raises :class:`~repro.core.config.ConfigError` — and only
+    ``ConfigError`` — for every way a payload can be invalid; the
+    Hypothesis suite in ``tests/test_service.py`` enforces that
+    contract over arbitrary JSON.
+    """
+    if not isinstance(payload, dict):
+        _fail(f"body must be a JSON object, got {type(payload).__name__}")
+    known = set(JOB_SPEC_SCHEMA["properties"])
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        _fail(f"unknown field(s) {unknown}; known fields: {sorted(known)}")
+
+    designs = _validated_names(payload["designs"], "designs",
+                               resolve_design_name) \
+        if "designs" in payload else _fail("designs is required")
+    for design in designs:
+        # The registry lookup is the DesignConfig-backed guarantee: a
+        # name that resolves maps to a config whose __post_init__ has
+        # already proven the design buildable.
+        get_design(design)
+    benchmarks = (_validated_names(payload["benchmarks"], "benchmarks",
+                                   _resolve_benchmark)
+                  if "benchmarks" in payload else tuple(benchmark_names()))
+
+    n_refs = payload.get("n_refs", 20_000)
+    if not _is_int(n_refs) or not 1 <= n_refs <= MAX_REFS_PER_CELL:
+        _fail(f"n_refs must be an integer in [1, {MAX_REFS_PER_CELL}], "
+              f"got {n_refs!r}")
+    seed = payload.get("seed", 7)
+    if not _is_int(seed) or not 0 <= seed <= MAX_SEED:
+        _fail(f"seed must be an integer in [0, {MAX_SEED}], got {seed!r}")
+    warmup = payload.get("warmup_fraction", 0.3)
+    if (not isinstance(warmup, (int, float)) or isinstance(warmup, bool)
+            or not math.isfinite(warmup) or not 0.0 <= warmup < 1.0):
+        _fail(f"warmup_fraction must be a finite number in [0, 1), "
+              f"got {warmup!r}")
+    sanitize = payload.get("sanitize", False)
+    if not isinstance(sanitize, bool):
+        _fail(f"sanitize must be a boolean, got {sanitize!r}")
+
+    cells = len(designs) * len(benchmarks)
+    if cells > MAX_CELLS_PER_JOB:
+        _fail(f"grid has {cells} cells; the service caps a job at "
+              f"{MAX_CELLS_PER_JOB} (split it into several jobs — the "
+              f"shared result cache makes the split free)")
+    return JobSpec(designs=designs, benchmarks=benchmarks, n_refs=n_refs,
+                   seed=seed, warmup_fraction=float(warmup),
+                   sanitize=sanitize)

@@ -1,0 +1,219 @@
+"""Stdlib HTTP front end over the :class:`~repro.service.jobs.JobStore`.
+
+One :class:`http.server.ThreadingHTTPServer` answers the five routes
+:data:`~repro.service.schema.ENDPOINTS` declares.  Handlers are thin:
+parse -> :class:`JobStore` call -> JSON.  All failures use one error
+envelope::
+
+    {"error": {"code": "<ERROR_CODES key>", "message": "...",
+               "detail": "..."?}}
+
+so clients can branch on ``code`` without parsing prose.  Spec
+validation errors surface the typed
+:class:`~repro.core.config.ConfigError` message as ``detail`` — the
+same text a bad CLI invocation prints.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+from repro.core.config import ConfigError
+from repro.service.jobs import JobStore
+from repro.service.schema import (
+    ERROR_CODES,
+    SERVICE_SCHEMA_VERSION,
+    validate_job_spec,
+)
+
+#: Largest request body the service will read (a job spec is tiny; this
+#: guards the shared server against accidental multi-megabyte POSTs).
+MAX_BODY_BYTES = 64 * 1024
+
+#: Artifact keys are SHA-256 content keys — nothing else touches disk.
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+_JOB_ROUTE = re.compile(r"^/v1/jobs/([A-Za-z0-9_.-]+)$")
+_RESULT_ROUTE = re.compile(r"^/v1/jobs/([A-Za-z0-9_.-]+)/result$")
+_ARTIFACT_ROUTE = re.compile(r"^/v1/artifacts/([^/]+)$")
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes one request; the store lives on the server object."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+    @property
+    def store(self) -> JobStore:
+        return self.server.store  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "quiet", True):
+            return
+        super().log_message(format, *args)
+
+    def _send(self, status: int, document: Any,
+              raw: Optional[bytes] = None) -> None:
+        body = raw if raw is not None else json.dumps(
+            document, sort_keys=True, indent=1).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, code: str, message: Optional[str] = None,
+               detail: Optional[str] = None) -> None:
+        assert code in ERROR_CODES, f"undeclared error code {code!r}"
+        self.store.counter.add("errors")
+        envelope: dict = {"code": code,
+                          "message": message or ERROR_CODES[code]}
+        if detail is not None:
+            envelope["detail"] = detail
+        self._send(status, {"error": envelope})
+
+    def _read_body(self) -> Optional[bytes]:
+        """The request body, or ``None`` after sending a 413."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self._error(413, "payload_too_large",
+                        detail=f"body is {length} bytes; the service "
+                               f"accepts at most {MAX_BODY_BYTES}")
+            return None
+        return self.rfile.read(length)
+
+    # -- dispatch ----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        self.store.counter.add("requests")
+        if self.path == "/v1/jobs":
+            self._post_job()
+        elif (self.path == "/v1/healthz" or _JOB_ROUTE.match(self.path)
+              or _RESULT_ROUTE.match(self.path)
+              or _ARTIFACT_ROUTE.match(self.path)):
+            self._error(405, "method_not_allowed")
+        else:
+            self._error(404, "not_found")
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self.store.counter.add("requests")
+        if self.path == "/v1/healthz":
+            self._get_healthz()
+            return
+        match = _RESULT_ROUTE.match(self.path)
+        if match:
+            self._get_result(match.group(1))
+            return
+        match = _JOB_ROUTE.match(self.path)
+        if match:
+            self._get_job(match.group(1))
+            return
+        match = _ARTIFACT_ROUTE.match(self.path)
+        if match:
+            self._get_artifact(match.group(1))
+            return
+        if self.path == "/v1/jobs":
+            self._error(405, "method_not_allowed")
+        else:
+            self._error(404, "not_found")
+
+    # -- handlers ----------------------------------------------------------
+    def _post_job(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            payload = json.loads(body or b"null")
+        except ValueError as error:
+            self._error(400, "invalid_json", detail=str(error))
+            return
+        try:
+            spec = validate_job_spec(payload)
+        except ConfigError as error:
+            self._error(400, "invalid_spec", detail=str(error))
+            return
+        job, created = self.store.submit(spec)
+        with self.store._lock:
+            document = job.as_dict()
+        document["deduplicated"] = not created
+        self._send(201 if created else 200, document)
+
+    def _get_job(self, job_id: str) -> None:
+        job = self.store.get(job_id)
+        if job is None:
+            self._error(404, "unknown_job", detail=job_id)
+            return
+        with self.store._lock:
+            self._send(200, job.as_dict())
+
+    def _get_result(self, job_id: str) -> None:
+        job = self.store.get(job_id)
+        if job is None:
+            self._error(404, "unknown_job", detail=job_id)
+            return
+        with self.store._lock:
+            state = job.state
+            result_bytes = job.result_bytes
+            document = {"pending": True, "job": job.as_dict()}
+            error = job.error
+        if state == "done" and result_bytes is not None:
+            self._send(200, None, raw=result_bytes)
+        elif state == "failed":
+            self._error(409, "job_failed", detail=error)
+        else:
+            self._send(202, document)
+
+    def _get_artifact(self, key: str) -> None:
+        if not _KEY_RE.match(key):
+            self._error(400, "invalid_key", detail=key)
+            return
+        found = self.store.lookup_artifact(key)
+        if found is None:
+            self._error(404, "unknown_artifact", detail=key)
+            return
+        self._send(200, found)
+
+    def _get_healthz(self) -> None:
+        self._send(200, {
+            "ok": True,
+            "schema": SERVICE_SCHEMA_VERSION,
+            "jobs": self.store.jobs_by_state(),
+            "workers": self.store.workers,
+            "metrics": self.store.registry.snapshot(),
+        })
+
+
+def make_server(store: JobStore, host: str = "127.0.0.1", port: int = 0,
+                quiet: bool = True) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to ``host:port`` over ``store``.
+
+    ``port=0`` picks a free port (tests); the bound port is
+    ``server.server_address[1]``.  The caller owns both lifecycles:
+    ``server.shutdown()`` then ``store.close()``.
+    """
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.store = store  # type: ignore[attr-defined]
+    server.quiet = quiet  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    store.start()
+    return server
+
+
+def serve(store: JobStore, host: str = "127.0.0.1", port: int = 8765,
+          quiet: bool = False) -> Tuple[str, int]:
+    """Run the service until interrupted (the ``repro serve`` loop)."""
+    server = make_server(store, host=host, port=port, quiet=quiet)
+    bound = server.server_address[:2]
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        store.close()
+    return str(bound[0]), int(bound[1])

@@ -1,0 +1,352 @@
+"""The simulation service: HTTP lifecycle, dedupe, validation, fuzzing.
+
+Suites:
+
+* ``TestJobSpecValidation`` — the schema-first validator's typed-error
+  contract on hand-picked payloads.
+* ``TestJobSpecFuzz`` — Hypothesis drives arbitrary JSON at
+  :func:`~repro.service.schema.validate_job_spec` (schemathesis-style,
+  per ROADMAP): it may accept or raise ``ConfigError``, never anything
+  else, and whatever it accepts the :class:`JobStore` can key.
+* ``TestServiceLifecycle`` — a real ``ThreadingHTTPServer`` on an
+  ephemeral port: submit/poll/result, in-process dedupe with
+  byte-identical results, restart dedupe through a shared result cache,
+  concurrent clients, warm derived-artifact serving, error envelopes.
+
+Grids are tiny (two designs x one benchmark at a few thousand refs) so
+the whole module stays inside the tier-1 time budget.
+"""
+
+import json
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import ConfigError
+from repro.service import (
+    ENDPOINTS,
+    ERROR_CODES,
+    JOB_SPEC_SCHEMA,
+    JobStore,
+    ServiceClient,
+    ServiceError,
+    job_key,
+    make_server,
+    validate_job_spec,
+)
+
+SMALL_SPEC = {"designs": ["SNUCA2", "TLC"], "benchmarks": ["gcc"],
+              "n_refs": 1_500}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A live server over fresh cache lanes; yields (client, store)."""
+    store = JobStore(cache=tmp_path / "results",
+                     derived=tmp_path / "derived", workers=2)
+    server = make_server(store)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        yield client, store
+    finally:
+        server.shutdown()
+        server.server_close()
+        store.close()
+
+
+class TestJobSpecValidation:
+    def test_minimal_spec_fills_defaults(self):
+        spec = validate_job_spec({"designs": ["TLC"]})
+        assert spec.designs == ("TLC",)
+        assert len(spec.benchmarks) == 12
+        assert spec.n_refs == JOB_SPEC_SCHEMA["properties"]["n_refs"]["default"]
+        assert spec.seed == 7
+        assert spec.sanitize is False
+
+    def test_design_names_resolve_registry_spellings(self):
+        spec = validate_job_spec({"designs": ["tlc", "s-nuca2"]})
+        assert spec.designs == ("TLC", "SNUCA2")
+
+    def test_unknown_design_is_config_error(self):
+        with pytest.raises(ConfigError, match="job spec"):
+            validate_job_spec({"designs": ["NOPE"]})
+
+    def test_duplicate_designs_rejected_after_resolution(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            validate_job_spec({"designs": ["TLC", "tlc"]})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            validate_job_spec({"designs": ["TLC"], "refs": 100})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(ConfigError, match="n_refs"):
+            validate_job_spec({"designs": ["TLC"], "n_refs": True})
+
+    def test_warmup_fraction_must_stay_below_one(self):
+        with pytest.raises(ConfigError, match="warmup_fraction"):
+            validate_job_spec({"designs": ["TLC"], "warmup_fraction": 1.0})
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ConfigError, match="JSON object"):
+            validate_job_spec(["designs"])
+
+    def test_cell_cap_enforced(self):
+        # 7 designs x 12 benchmarks = 84 cells is fine; n_refs cap isn't.
+        with pytest.raises(ConfigError, match="n_refs"):
+            validate_job_spec({"designs": ["TLC"], "n_refs": 10**9})
+
+    def test_job_key_is_spelling_insensitive(self):
+        a = validate_job_spec({"designs": ["tlc"], "benchmarks": ["gcc"]})
+        b = validate_job_spec({"designs": ["TLC"], "benchmarks": ["gcc"]})
+        assert job_key(a) == job_key(b)
+
+    def test_job_key_separates_different_grids(self):
+        a = validate_job_spec({"designs": ["TLC"], "benchmarks": ["gcc"]})
+        b = validate_job_spec({"designs": ["TLC"], "benchmarks": ["mcf"]})
+        assert job_key(a) != job_key(b)
+
+
+# Payloads shaped like job specs (right field names, wrong-ish values)
+# plus arbitrary JSON — the adversarial half of the fuzz.
+_json_scalars = st.none() | st.booleans() | st.integers() | st.floats(
+    allow_nan=False) | st.text(max_size=20)
+_json_values = st.recursive(
+    _json_scalars,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=10)
+_speclike = st.fixed_dictionaries(
+    {},
+    optional={
+        "designs": st.lists(st.sampled_from(
+            ["TLC", "tlc", "SNUCA2", "DNUCA", "NOPE", ""]), max_size=4)
+        | _json_values,
+        "benchmarks": st.lists(st.sampled_from(
+            ["gcc", "mcf", "bogus"]), max_size=3) | _json_values,
+        "n_refs": st.integers(-5, 10**7) | _json_values,
+        "seed": st.integers(-2, 2**33) | _json_values,
+        "warmup_fraction": st.floats(allow_nan=True, allow_infinity=True)
+        | _json_values,
+        "sanitize": st.booleans() | _json_values,
+        "extra": _json_values,
+    })
+
+
+class TestJobSpecFuzz:
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(payload=_speclike | _json_values)
+    def test_validator_accepts_or_raises_config_error_only(self, payload):
+        try:
+            spec = validate_job_spec(payload)
+        except ConfigError:
+            return
+        # Whatever survives validation must be a well-formed, keyable
+        # grid the store could run.
+        assert spec.designs and spec.benchmarks
+        assert 1 <= spec.n_refs
+        assert 0.0 <= spec.warmup_fraction < 1.0
+        assert len(job_key(spec)) == 64
+
+
+class TestServiceLifecycle:
+    def test_submit_poll_result_lifecycle(self, service):
+        client, store = service
+        submitted = client.submit(SMALL_SPEC)
+        assert submitted["_http_status"] == 201
+        assert submitted["deduplicated"] is False
+        assert submitted["id"].startswith("job-")
+
+        status = client.wait(submitted["id"], timeout_s=120)
+        assert status["state"] == "done"
+        assert status["cells"]["total"] == 2
+        assert status["cells"]["simulated"] == 2
+        assert status["cells"]["from_cache"] == 0
+        assert {cell["state"] for cell in status["cell_status"]} == {"done"}
+        assert status["manifest"]["kind"] == "service.job"
+
+        result = client.result(submitted["id"])
+        assert result["designs"] == ["SNUCA2", "TLC"]
+        assert result["cells"]["TLC"]["gcc"]["l2_requests"] > 0
+        assert result["normalized_time"]["dataset"][0][0] == "gcc"
+
+    def test_duplicate_submission_returns_identical_bytes(self, service):
+        client, store = service
+        first = client.submit(SMALL_SPEC)
+        client.wait(first["id"], timeout_s=120)
+        bytes_one = client.result_bytes(first["id"])
+
+        second = client.submit(SMALL_SPEC)
+        assert second["_http_status"] == 200
+        assert second["deduplicated"] is True
+        assert second["id"] == first["id"]
+        assert client.result_bytes(second["id"]) == bytes_one
+        assert store.counter["jobs_deduplicated"] == 1
+        assert store.counter["cells_simulated"] == 2
+
+    def test_restart_dedupe_through_shared_result_cache(self, tmp_path):
+        """A fresh store over a warm result cache simulates nothing."""
+        payloads = []
+        simulated = []
+        for _ in range(2):
+            store = JobStore(cache=tmp_path / "results",
+                            derived=tmp_path / "derived", workers=2)
+            server = make_server(store)
+            threading.Thread(target=server.serve_forever,
+                             daemon=True).start()
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.server_address[1]}")
+            job = client.submit(SMALL_SPEC)
+            status = client.wait(job["id"], timeout_s=120)
+            simulated.append(status["cells"]["simulated"])
+            payloads.append(client.result_bytes(job["id"]))
+            server.shutdown()
+            server.server_close()
+            store.close()
+        assert simulated == [2, 0]
+        assert payloads[0] == payloads[1]
+
+    def test_concurrent_clients_share_one_store(self, service):
+        client, store = service
+        specs = [dict(SMALL_SPEC, benchmarks=[bench])
+                 for bench in ("gcc", "mcf", "gcc", "mcf")]
+        results = [None] * len(specs)
+        errors = []
+
+        def run(index):
+            try:
+                results[index] = ServiceClient(client.base_url).run(
+                    specs[index], timeout_s=120)
+            except Exception as error:  # noqa: BLE001 — surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(len(specs))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert results[0] == results[2]
+        assert results[1] == results[3]
+        assert results[0] != results[1]
+        # The duplicate pair deduped to one job each.
+        assert store.counter["jobs_submitted"] == 2
+        assert store.counter["jobs_deduplicated"] == 2
+
+    def test_result_before_completion_is_202_pending(self, service):
+        client, store = service
+        # Submit straight to the store but never start a server-side
+        # worker race: ask for the result of a job that cannot be done
+        # yet by submitting a larger grid and checking immediately.
+        submitted = client.submit(dict(SMALL_SPEC,
+                                       benchmarks=["gcc", "mcf", "swim"]))
+        status, raw = client._request(
+            "GET", f"/v1/jobs/{submitted['id']}/result")
+        assert status in (200, 202)
+        if status == 202:
+            document = json.loads(raw)
+            assert document["pending"] is True
+            assert document["job"]["state"] in ("queued", "running")
+        client.wait(submitted["id"], timeout_s=120)
+
+    def test_invalid_spec_is_400_with_config_error_detail(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"designs": ["NOPE"]})
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "invalid_spec"
+        # The detail is the typed ConfigError's own message.
+        assert "job spec" in excinfo.value.detail
+        with pytest.raises(ConfigError) as config_excinfo:
+            validate_job_spec({"designs": ["NOPE"]})
+        assert excinfo.value.detail == str(config_excinfo.value)
+
+    def test_malformed_json_is_400_invalid_json(self, service):
+        client, _ = service
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{client.base_url}/v1/jobs", data=b"{not json",
+            method="POST", headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        envelope = json.load(excinfo.value)["error"]
+        assert envelope["code"] == "invalid_json"
+
+    def test_unknown_job_and_bad_artifact_key(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("job-doesnotexist00")
+        assert (excinfo.value.status, excinfo.value.code) == (
+            404, "unknown_job")
+        with pytest.raises(ServiceError) as excinfo:
+            client.artifact("not-a-key")
+        assert (excinfo.value.status, excinfo.value.code) == (
+            400, "invalid_key")
+        with pytest.raises(ServiceError) as excinfo:
+            client.artifact("0" * 64)
+        assert (excinfo.value.status, excinfo.value.code) == (
+            404, "unknown_artifact")
+
+    def test_warm_derived_artifact_served_by_key(self, service):
+        client, store = service
+        result = client.run(SMALL_SPEC, timeout_s=120)
+        key = result["artifacts"]["grid.normalized"]
+        served = client.artifact(key)
+        assert served["lane"] == "derived"
+        assert served["artifact"]["dataset"] == \
+            result["normalized_time"]["dataset"]
+
+    def test_result_cache_key_served_as_result_lane_artifact(self, service):
+        client, store = service
+        submitted = client.submit(SMALL_SPEC)
+        status = client.wait(submitted["id"], timeout_s=120)
+        # Every cell's provenance key resolves through the artifact
+        # endpoint to the raw result document.
+        manifest_metrics = status["manifest"]["metrics"]
+        assert manifest_metrics["service.jobs_submitted"] >= 1
+        result = client.result(submitted["id"])
+        cell_key = store.get(submitted["id"]).cell_keys[0]
+        served = client.artifact(cell_key)
+        assert served["lane"] == "result"
+        assert served["result"]["design"] == "SNUCA2"
+
+    def test_healthz_exposes_all_metric_families(self, service):
+        client, _ = service
+        client.run(SMALL_SPEC, timeout_s=120)
+        health = client.healthz()
+        assert health["ok"] is True
+        names = set(health["metrics"])
+        assert any(name.startswith("service.") for name in names)
+        assert any(name.startswith("runner.") for name in names)
+        assert any(name.startswith("analysis.derived.") for name in names)
+        assert health["jobs"]["done"] == 1
+
+    def test_route_table_matches_handlers(self, service):
+        """Every declared endpoint answers something other than 404."""
+        client, _ = service
+        submitted = client.submit(SMALL_SPEC)
+        client.wait(submitted["id"], timeout_s=120)
+        substitutions = {"{id}": submitted["id"], "{key}": "0" * 64}
+        for method, path, _summary in ENDPOINTS:
+            for template, value in substitutions.items():
+                path = path.replace(template, value)
+            status, raw = client._request(method, path,
+                                          body=SMALL_SPEC
+                                          if method == "POST" else None)
+            if status in (400, 404):
+                envelope = json.loads(raw)["error"]
+                assert envelope["code"] != "not_found", (method, path)
+            assert status != 405, (method, path)
+
+    def test_error_codes_documented(self):
+        for code in ("invalid_json", "invalid_spec", "unknown_job",
+                     "unknown_artifact", "invalid_key", "not_found",
+                     "method_not_allowed", "job_failed"):
+            assert code in ERROR_CODES
