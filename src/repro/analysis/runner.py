@@ -97,6 +97,11 @@ class CellSpec:
     #: result, but the flag is still part of the cache key: a sanitized
     #: entry certifies "checked", and mixing would hide that provenance.
     sanitize: bool = False
+    #: simulation backend (see :mod:`repro.sim.backend`).  Backends are
+    #: proven observably identical by the differential suite, but the
+    #: name is still part of the cache key for the same provenance
+    #: reason as ``sanitize``: an entry records *how* it was computed.
+    backend: str = "reference"
 
     def key_fields(self) -> dict:
         """The canonical, JSON-able dictionary the cache key hashes."""
@@ -113,6 +118,7 @@ class CellSpec:
                            else dataclasses.asdict(self.trace_spec)),
             "memory_latency_cycles": self.memory_latency_cycles,
             "sanitize": self.sanitize,
+            "backend": self.backend,
         }
 
 
@@ -138,12 +144,12 @@ def run_cell(cell: CellSpec) -> SystemResult:
                           prewarm_spec=cell.trace_spec,
                           processor_config=cell.processor_config,
                           tech=cell.tech, memory=memory,
-                          sanitize=cell.sanitize)
+                          sanitize=cell.sanitize, backend=cell.backend)
     return run_system(cell.design, cell.benchmark, n_refs=cell.n_refs,
                       seed=cell.seed, warmup_fraction=cell.warmup_fraction,
                       processor_config=cell.processor_config,
                       tech=cell.tech, memory=memory,
-                      sanitize=cell.sanitize)
+                      sanitize=cell.sanitize, backend=cell.backend)
 
 
 def run_cell_timed(cell: CellSpec) -> Tuple[SystemResult, float]:
@@ -427,6 +433,7 @@ def grid_cell_specs(designs: Sequence[str],
                     processor_config: Optional[ProcessorConfig] = None,
                     tech: Technology = TECH_45NM,
                     sanitize: bool = False,
+                    backend: str = "reference",
                     ) -> Tuple[List[CellSpec], Tuple[str, ...]]:
     """The cell specs a :func:`run_grid` call would execute, without
     executing them.
@@ -442,7 +449,7 @@ def grid_cell_specs(designs: Sequence[str],
     cells = [CellSpec(design=design, benchmark=benchmark, n_refs=n_refs,
                       seed=seed, warmup_fraction=warmup_fraction,
                       processor_config=processor_config, tech=tech,
-                      sanitize=sanitize)
+                      sanitize=sanitize, backend=backend)
              for benchmark in benchmarks for design in designs]
     return cells, tuple(benchmarks)
 
@@ -456,7 +463,8 @@ def run_grid(designs: Sequence[str],
              workers: int = 1,
              cache: Union[ResultCache, str, os.PathLike, None] = None,
              policy=None, checkpoint=None, fault_plan=None, telemetry=None,
-             sanitize: bool = False):
+             sanitize: bool = False,
+             backend: str = "reference"):
     """Run a full (design x benchmark) grid through the runner.
 
     Returns an :class:`~repro.analysis.experiments.ExperimentGrid`.
@@ -467,13 +475,16 @@ def run_grid(designs: Sequence[str],
     fault-tolerant executor (see :func:`execute_cells_detailed`).
     ``sanitize=True`` runs every cell under the simulator-core
     sanitizer; a clean sanitized grid is byte-identical to a plain one.
+    ``backend`` selects the simulation backend for every cell (see
+    :mod:`repro.sim.backend`); the differential suite proves grids are
+    byte-identical across backends.
     """
     from repro.analysis.experiments import ExperimentGrid
 
     cells, benchmarks = grid_cell_specs(
         designs, benchmarks, n_refs=n_refs, seed=seed,
         warmup_fraction=warmup_fraction, processor_config=processor_config,
-        tech=tech, sanitize=sanitize)
+        tech=tech, sanitize=sanitize, backend=backend)
     outcomes = execute_cells_detailed(cells, workers=workers, cache=cache,
                                       policy=policy, checkpoint=checkpoint,
                                       fault_plan=fault_plan,

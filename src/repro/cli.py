@@ -143,10 +143,15 @@ def _cmd_run(args) -> int:
     try:
         result = run_system(design, benchmark, n_refs=args.refs,
                             seed=args.seed, observer=observer,
-                            sanitizer=sanitizer, crash_dir=args.crash_dir)
+                            sanitizer=sanitizer, crash_dir=args.crash_dir,
+                            backend=args.backend)
     except Exception as error:
+        from repro.core.config import ConfigError
         from repro.sanitizer import SanitizerViolation
 
+        if isinstance(error, ConfigError):
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         if not isinstance(error, SanitizerViolation):
             raise
         print(f"sanitizer violation: {error}", file=sys.stderr)
@@ -395,13 +400,20 @@ def _cmd_grid(args) -> int:
     else:
         cache = _grid_cache(args)
         policy, checkpoint, telemetry = _grid_resilience(args)
-        grid = run_design_grid(designs=args.designs or ("SNUCA2", "DNUCA", "TLC"),
-                               benchmarks=args.benchmarks or None,
-                               n_refs=args.refs, seed=args.seed,
-                               workers=args.workers, cache=cache,
-                               policy=policy, checkpoint=checkpoint,
-                               telemetry=telemetry,
-                               sanitize=args.sanitize)
+        from repro.core.config import ConfigError
+
+        try:
+            grid = run_design_grid(
+                designs=args.designs or ("SNUCA2", "DNUCA", "TLC"),
+                benchmarks=args.benchmarks or None,
+                n_refs=args.refs, seed=args.seed,
+                workers=args.workers, cache=cache,
+                policy=policy, checkpoint=checkpoint,
+                telemetry=telemetry,
+                sanitize=args.sanitize, backend=args.backend)
+        except ConfigError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         if cache is not None:
             print(f"cache: {cache.hits} hit(s), {cache.stores} cell(s) "
                   f"simulated and stored under {args.cache_dir}")
@@ -562,8 +574,7 @@ def _cmd_perf(args) -> int:
         pin=not args.no_pin,
         progress=lambda name: print(f"  bench {name} ...", file=sys.stderr))
     if not results:
-        print(f"error: no benchmark matches filter {args.filter!r}; "
-              f"see `repro perf --list`", file=sys.stderr)
+        _print_no_filter_match(args.filter)
         return 2
     document = bench_document(results, code_version=code_version_stamp(),
                               pinned=pinned, quick=args.quick)
@@ -580,6 +591,7 @@ def _cmd_perf(args) -> int:
         ["benchmark", "median (ms)", "MAD (ms)", "reps", "ops/sec"],
         rows, title=f"Microbenchmarks ({mode} mode, "
                     f"{'pinned' if pinned else 'unpinned'})"))
+    _print_backend_speedups(results)
 
     if args.save:
         written = save_benchmarks(args.save, document)
@@ -623,10 +635,51 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _print_no_filter_match(name_filter) -> None:
+    """The zero-match --filter diagnostic (stderr), with the names."""
+    from repro.analysis.perf import benchmark_names
+
+    print(f"error: no benchmark matches filter {name_filter!r}; "
+          f"available benchmarks:", file=sys.stderr)
+    for name in benchmark_names():
+        print(f"  {name}", file=sys.stderr)
+
+
+def _print_backend_speedups(results) -> None:
+    """Median-time speedup lines for reference/batched benchmark pairs.
+
+    A pair is ``<stem>.batched`` next to ``<stem>.reference`` or a bare
+    ``<stem>`` (the ``system.refs_per_sec.tlc`` convention, where the
+    unsuffixed name is the reference run).
+    """
+    lines = []
+    for name in sorted(results):
+        if not name.endswith(".batched"):
+            continue
+        stem = name[:-len(".batched")]
+        sibling = next((candidate for candidate
+                        in (f"{stem}.reference", stem)
+                        if candidate in results), None)
+        if sibling is None or results[name].median_ns <= 0:
+            continue
+        speedup = results[sibling].median_ns / results[name].median_ns
+        lines.append(f"  {stem}: {speedup:.2f}x "
+                     f"({sibling} / {name}, median)")
+    if lines:
+        print("backend speedup (batched vs reference):")
+        for line in lines:
+            print(line)
+
+
 def _cmd_perf_list(args) -> int:
     from repro.analysis.perf import benchmark_names
 
-    for name in benchmark_names():
+    names = [name for name in benchmark_names()
+             if args.filter is None or args.filter in name]
+    if not names:
+        _print_no_filter_match(args.filter)
+        return 2
+    for name in names:
         print(name)
     return 0
 
@@ -658,6 +711,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="benchmark name (flag form of the positional)")
     run.add_argument("--refs", type=int, default=20_000)
     run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--backend", default=None, metavar="NAME",
+                     help="simulation backend: 'reference' (scalar loop, "
+                          "full feature support) or 'batched' (numpy "
+                          "struct-of-arrays, byte-identical results); "
+                          "default: the design config's backend")
     run.add_argument("--metrics-out", metavar="FILE",
                      help="write the run manifest (config digest, code "
                           "version, full metrics snapshot) as JSON")
@@ -737,6 +795,11 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--sanitize", action="store_true",
                       help="run every cell under the simulator-core "
                            "sanitizer (identical results, checked)")
+    grid.add_argument("--backend", default="reference", metavar="NAME",
+                      help="simulation backend for every cell "
+                           "('reference' or 'batched'; results are "
+                           "byte-identical, but the name is part of each "
+                           "cell's cache key)")
     grid.add_argument("--save", help="write the grid to this JSON path")
     grid.add_argument("--load", help="load a grid instead of running")
     grid.add_argument("--workers", type=int, default=1,

@@ -83,6 +83,12 @@ class DesignConfig:
     #: a time — less bank traffic, longer worst-case latency).
     search_mode: str = "multicast"
     controller_overhead: int = 0
+    #: simulation backend replaying traces against this design —
+    #: ``"reference"`` (the scalar per-event loop) or ``"batched"``
+    #: (numpy struct-of-arrays; see :mod:`repro.sim.backend`).  Part of
+    #: the design config so a build_design override selects it, and part
+    #: of every result-cache key via ``CellSpec.backend``.
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         self._check_scalars()
@@ -131,6 +137,13 @@ class DesignConfig:
         self._require(self.search_mode in ("multicast", "incremental"),
                       f"search_mode must be 'multicast' or 'incremental', "
                       f"got {self.search_mode!r}")
+        # Imported lazily, like make_policy below: the backend module
+        # imports ConfigError from this one.
+        from repro.sim.backend import BACKEND_NAMES
+
+        self._require(self.backend in BACKEND_NAMES,
+                      f"backend must be one of {list(BACKEND_NAMES)}, "
+                      f"got {self.backend!r}")
         from repro.cache.replacement import make_policy
 
         try:

@@ -291,6 +291,17 @@ class Sanitizer:
                  "at_quiesce": True})
         self.run_checks(cycle)
 
+    def on_engine_reset(self) -> None:
+        """Engine-reset hook: forget per-run engine progress state.
+
+        :meth:`Engine.reset` rewinds the clock to zero; without this
+        hook the livelock counter accumulated by the previous run would
+        leak into the next one and could fire ``engine.livelock``
+        spuriously on a reused sanitized engine.
+        """
+        self._same_cycle_events = 0
+        self._last_cycle = 0
+
     def on_engine_dispatch(self, now: int, event_time: int,
                            pending: int) -> None:
         """Per-event engine hook: monotonic time + same-cycle progress."""

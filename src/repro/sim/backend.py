@@ -1,0 +1,543 @@
+"""Pluggable simulation backends for the processor replay loop.
+
+The per-reference loop that replays a trace against an L2 design (the
+body of the old ``Processor.run``) is one *backend* behind the small
+:class:`SimBackend` protocol.  Two implementations ship:
+
+* :class:`ReferenceBackend` — the scalar per-event loop, moved here
+  verbatim.  Supports every feature (tracer, sanitizer) and is the
+  semantic definition the differential suite holds other backends to.
+* :class:`BatchedBackend` — advances many independent references per
+  step with numpy struct-of-arrays state.  The issue-cycle recurrence
+  ``cycle += (gap + rem) // width; rem = (gap + rem) % width`` depends
+  only on the gap stream, so instruction counts, issue-cycle
+  increments, and reorder-buffer floors for a whole chunk are one
+  ``cumsum`` each; the remaining loop keeps the L2 design a black box
+  (float stats accumulate in exactly the reference order, so grids stay
+  byte-identical).  Designs that declare the vectorized batch contract
+  (``supports_batch``, e.g. :class:`LatencyProbe`) additionally get a
+  fully vectorized fast path: the backend proves from the precomputed
+  arrays that no ROB/MSHR/dependence stall can bind anywhere in the
+  trace and then computes every completion time without entering Python
+  per-reference code at all.
+
+Backends must be *observably identical*: for any (design, trace,
+warmup) cell, every backend must produce the same
+:class:`~repro.sim.processor.ExecutionResult` and leave the design with
+the same statistics — enforced byte-for-byte by
+``tests/test_backend_equivalence.py`` via
+:func:`~repro.analysis.storage.integrity_digest`.  A backend that
+cannot support a feature refuses with the typed
+:class:`~repro.core.config.ConfigError` instead of silently degrading:
+:class:`BatchedBackend` rejects sanitized runs (the sanitizer's
+per-reference retirement hooks are meaningless over a batch) and
+requires numpy.
+
+numpy is an *optional* dependency of this module: importing it must
+work on a numpy-free interpreter, where ``resolve_backend("batched")``
+raises :class:`~repro.core.config.ConfigError` and the reference
+backend carries the suite alone.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Union
+
+from repro.sim.processor import ExecutionResult
+from repro.workloads.trace import Reference
+
+try:  # optional dependency: the reference backend never needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None  # type: ignore[assignment]
+
+#: Names `resolve_backend` accepts (also the legal values of
+#: ``DesignConfig.backend`` and ``CellSpec.backend``).
+BACKEND_NAMES = ("reference", "batched")
+
+
+def _config_error(message: str):
+    # Imported lazily: repro.core.config validates DesignConfig.backend
+    # against BACKEND_NAMES at import time, so a top-level import here
+    # would be circular.
+    from repro.core.config import ConfigError
+
+    return ConfigError(message)
+
+
+class SimBackend(ABC):
+    """Strategy that executes a reference trace against an L2 design.
+
+    ``execute`` receives the :class:`~repro.sim.processor.Processor`
+    (for its config, design, tracer, and sanitizer) and must reproduce
+    the reference semantics exactly — same
+    :class:`~repro.sim.processor.ExecutionResult`, same design-side
+    statistics, same tracer event stream.
+    """
+
+    #: registry name (``"reference"`` / ``"batched"``).
+    name: str = "?"
+    #: whether sanitized runs (per-reference invariant hooks) work.
+    supports_sanitizer: bool = False
+
+    @abstractmethod
+    def execute(self, processor, trace: Iterable[Reference],
+                warmup_refs: int = 0) -> ExecutionResult:
+        """Replay ``trace``; statistics cover the post-warmup portion."""
+
+
+class ReferenceBackend(SimBackend):
+    """The scalar per-reference loop (the semantic ground truth)."""
+
+    name = "reference"
+    supports_sanitizer = True
+
+    def execute(self, processor, trace: Iterable[Reference],
+                warmup_refs: int = 0) -> ExecutionResult:
+        # The loop below runs once per reference; config fields and bound
+        # methods are hoisted into locals to keep it tight.
+        cfg = processor.config
+        issue_width = cfg.issue_width
+        rob_entries = cfg.rob_entries
+        mshrs = cfg.mshrs
+        l1_latency = cfg.l1_latency
+        l2 = processor.l2
+        l2_access = l2.access
+        cycle = 0
+        instr = 0
+        gap_remainder = 0
+        # In-flight loads as (instruction index, completion time).
+        loads: deque = deque()
+        stores: deque = deque()  # completion times only
+        loads_popleft = loads.popleft
+        loads_append = loads.append
+        stores_popleft = stores.popleft
+        stores_append = stores.append
+        last_load_complete = 0
+        warmup_cycle = 0
+        warmup_instr = 0
+        requests = 0
+
+        tracer = processor.tracer
+        sanitizer = processor.sanitizer
+        for i, ref in enumerate(trace):
+            if i == warmup_refs and warmup_refs > 0:
+                warmup_cycle, warmup_instr = cycle, instr
+                l2.reset_stats()
+                if tracer is not None:
+                    tracer.emit("run.warmup_end", time=cycle, refs=i,
+                                instructions=instr)
+
+            instr += ref.gap
+            total_gap = ref.gap + gap_remainder
+            cycle += total_gap // issue_width
+            gap_remainder = total_gap % issue_width
+
+            # Reorder-buffer limit: older loads must complete before the
+            # window can roll this far forward.
+            window_floor = instr - rob_entries
+            while loads and loads[0][0] <= window_floor:
+                _, done = loads_popleft()
+                if done > cycle:
+                    cycle = done
+
+            # MSHR limit across loads and stores.
+            while len(loads) + len(stores) >= mshrs:
+                earliest_load = loads[0][1] if loads else None
+                earliest_store = stores[0] if stores else None
+                if earliest_store is None or (
+                        earliest_load is not None and earliest_load <= earliest_store):
+                    _, done = loads_popleft()
+                else:
+                    done = stores_popleft()
+                if done > cycle:
+                    cycle = done
+
+            if ref.dependent and last_load_complete > cycle:
+                cycle = last_load_complete
+
+            outcome = l2_access(ref.addr, cycle + l1_latency,
+                                write=ref.write)
+            if tracer is not None:
+                tracer.emit("l2.access", time=cycle, ref=i, addr=ref.addr,
+                            write=ref.write, hit=outcome.hit,
+                            latency=outcome.lookup_latency,
+                            complete=outcome.complete_time,
+                            predictable=outcome.predictable)
+            requests += 1
+            if ref.write:
+                stores_append(outcome.complete_time)
+            else:
+                loads_append((instr, outcome.complete_time))
+                last_load_complete = outcome.complete_time
+            if sanitizer is not None:
+                sanitizer.on_retire(cycle, instr,
+                                    len(loads) + len(stores))
+
+        # Drain: execution ends when the last load's data has returned.
+        for _, done in loads:
+            if done > cycle:
+                cycle = done
+        if sanitizer is not None:
+            sanitizer.on_quiesce(cycle, len(loads) + len(stores))
+
+        return ExecutionResult(
+            cycles=cycle - warmup_cycle,
+            instructions=instr - warmup_instr,
+            l2_requests=requests - warmup_refs,
+            warmup_cycles=warmup_cycle,
+        )
+
+
+class BatchedBackend(SimBackend):
+    """numpy struct-of-arrays replay: batch the front end, keep the L2 exact.
+
+    Per chunk of ``chunk`` references, one pass of numpy precomputes the
+    instruction counters, issue-cycle increments, and reorder-buffer
+    floors (all pure functions of the gap stream); the retained Python
+    loop then only services the stall machinery and the L2 access, which
+    must stay sequential because design state (bank busy-until times,
+    float energy accumulation) is order-sensitive.
+
+    Designs declaring ``supports_batch`` (access outcomes independent of
+    call order and time, a pure ``batch_latency`` vector, and a
+    ``batch_access`` that updates statistics exactly as repeated
+    ``access`` calls would) get the fully vectorized path: the backend
+    first *proves* that no reorder-buffer, MSHR, or dependence stall can
+    bind anywhere — every completion a pop could wait on is already in
+    the past at the pop's issue cycle — and only then skips the Python
+    loop entirely.  If the proof fails the generic chunked loop runs
+    instead, so the fast path is an optimization, never a semantic fork.
+    """
+
+    name = "batched"
+    supports_sanitizer = False
+
+    def __init__(self, chunk: int = 8192) -> None:
+        if _np is None:
+            raise _config_error(
+                "the batched backend requires numpy, which is not "
+                "installed; use backend='reference'")
+        if chunk <= 0:
+            raise _config_error("batched backend chunk must be positive")
+        self.chunk = chunk
+
+    def execute(self, processor, trace: Iterable[Reference],
+                warmup_refs: int = 0) -> ExecutionResult:
+        if _np is None:
+            raise _config_error(
+                "the batched backend requires numpy, which is not "
+                "installed; use backend='reference'")
+        if processor.sanitizer is not None:
+            raise _config_error(
+                "the batched backend does not support the sanitizer's "
+                "per-reference invariant hooks; run --sanitize with "
+                "backend='reference'")
+        refs: List[Reference] = (trace if isinstance(trace, list)
+                                 else list(trace))
+        if (processor.tracer is None
+                and getattr(processor.l2, "supports_batch", False)
+                and refs):
+            result = self._execute_vectorized(processor, refs, warmup_refs)
+            if result is not None:
+                return result
+        return self._execute_chunked(processor, refs, warmup_refs)
+
+    # -- generic chunked path (any design, byte-identical) -----------------
+
+    def _execute_chunked(self, processor, refs: Sequence[Reference],
+                         warmup_refs: int) -> ExecutionResult:
+        np = _np
+        cfg = processor.config
+        issue_width = cfg.issue_width
+        rob_entries = cfg.rob_entries
+        mshrs = cfg.mshrs
+        l1_latency = cfg.l1_latency
+        l2 = processor.l2
+        l2_access = l2.access
+        tracer = processor.tracer
+
+        cycle = 0
+        gap_remainder = 0
+        base_instr = 0
+        loads: deque = deque()
+        stores: deque = deque()
+        loads_popleft = loads.popleft
+        loads_append = loads.append
+        stores_popleft = stores.popleft
+        stores_append = stores.append
+        last_load_complete = 0
+        warmup_cycle = 0
+        warmup_instr = 0
+        requests = 0
+        instr = 0
+
+        chunk = self.chunk
+        for start in range(0, len(refs), chunk):
+            batch = refs[start:start + chunk]
+            # Struct-of-arrays precompute: a Reference is a NamedTuple of
+            # scalars, so one asarray call lifts the whole chunk.
+            columns = np.asarray(batch, dtype=np.int64)
+            cumulative = np.cumsum(columns[:, 0])
+            instr_after = (base_instr + cumulative)
+            issue_cycles = (cumulative + gap_remainder) // issue_width
+            increments = np.diff(issue_cycles, prepend=0).tolist()
+            floors = (instr_after - rob_entries).tolist()
+            instr_list = instr_after.tolist()
+            gap_remainder = int(
+                (gap_remainder + int(cumulative[-1])) % issue_width)
+            base_instr = int(instr_after[-1])
+
+            for offset, ref in enumerate(batch):
+                i = start + offset
+                if i == warmup_refs and warmup_refs > 0:
+                    warmup_cycle, warmup_instr = cycle, instr
+                    l2.reset_stats()
+                    if tracer is not None:
+                        tracer.emit("run.warmup_end", time=cycle, refs=i,
+                                    instructions=instr)
+
+                instr = instr_list[offset]
+                cycle += increments[offset]
+
+                window_floor = floors[offset]
+                while loads and loads[0][0] <= window_floor:
+                    _, done = loads_popleft()
+                    if done > cycle:
+                        cycle = done
+
+                while len(loads) + len(stores) >= mshrs:
+                    earliest_load = loads[0][1] if loads else None
+                    earliest_store = stores[0] if stores else None
+                    if earliest_store is None or (
+                            earliest_load is not None
+                            and earliest_load <= earliest_store):
+                        _, done = loads_popleft()
+                    else:
+                        done = stores_popleft()
+                    if done > cycle:
+                        cycle = done
+
+                if ref.dependent and last_load_complete > cycle:
+                    cycle = last_load_complete
+
+                outcome = l2_access(ref.addr, cycle + l1_latency,
+                                    write=ref.write)
+                if tracer is not None:
+                    tracer.emit("l2.access", time=cycle, ref=i,
+                                addr=ref.addr, write=ref.write,
+                                hit=outcome.hit,
+                                latency=outcome.lookup_latency,
+                                complete=outcome.complete_time,
+                                predictable=outcome.predictable)
+                requests += 1
+                if ref.write:
+                    stores_append(outcome.complete_time)
+                else:
+                    loads_append((instr, outcome.complete_time))
+                    last_load_complete = outcome.complete_time
+
+        for _, done in loads:
+            if done > cycle:
+                cycle = done
+
+        return ExecutionResult(
+            cycles=cycle - warmup_cycle,
+            instructions=instr - warmup_instr,
+            l2_requests=requests - warmup_refs,
+            warmup_cycles=warmup_cycle,
+        )
+
+    # -- vectorized fast path (batch-contract designs) ---------------------
+
+    def _execute_vectorized(self, processor, refs: Sequence[Reference],
+                            warmup_refs: int) -> Optional[ExecutionResult]:
+        """The no-Python-loop path, or ``None`` when the no-stall proof
+        fails (the caller then runs the exact chunked loop instead)."""
+        np = _np
+        cfg = processor.config
+        issue_width = cfg.issue_width
+        rob_entries = cfg.rob_entries
+        mshrs = cfg.mshrs
+        l1_latency = cfg.l1_latency
+        l2 = processor.l2
+        n = len(refs)
+
+        columns = np.asarray(refs, dtype=np.int64)
+        addrs = columns[:, 1]
+        writes = columns[:, 2] != 0
+        dependents = columns[:, 3] != 0
+        instr_after = np.cumsum(columns[:, 0])
+        # Issue-only cycle after each reference: exact as long as no
+        # stall ever raises the clock (proved below).
+        optimistic = instr_after // issue_width
+        latencies = l2.batch_latency(addrs, writes)
+        completes = optimistic + l1_latency + latencies
+
+        # Proof obligations, each vectorized over the whole trace:
+        # 1. completion times never run backwards (keeps the in-flight
+        #    queue a contiguous window popped oldest-first);
+        if n > 1 and not bool(np.all(np.diff(completes) >= 0)):
+            return None
+        # 2. MSHR pops: when the window is full at reference i the
+        #    popped entry is at most i - mshrs, already complete by i;
+        if n > mshrs and not bool(
+                np.all(completes[:-mshrs] <= optimistic[mshrs:])):
+            return None
+        # 3. ROB pops: reference j leaves the window at the first i with
+        #    instr_i - rob_entries >= instr_j, by which time it is done;
+        targets = np.searchsorted(instr_after, instr_after + rob_entries,
+                                  side="left")
+        in_range = targets < n
+        if not bool(np.all(completes[in_range]
+                           <= optimistic[targets[in_range]])):
+            return None
+        # 4. dependence: a dependent reference issues after the previous
+        #    load's data has returned.
+        if bool(dependents.any()):
+            load_completes = np.maximum.accumulate(
+                np.where(writes, 0, completes))
+            previous_load = np.concatenate(([0], load_completes[:-1]))
+            if not bool(np.all(previous_load[dependents]
+                               <= optimistic[dependents])):
+                return None
+
+        times = optimistic + l1_latency
+        boundary = warmup_refs if 0 < warmup_refs < n else 0
+        if boundary:
+            l2.batch_access(addrs[:boundary], times[:boundary],
+                            writes[:boundary])
+            l2.reset_stats()
+            l2.batch_access(addrs[boundary:], times[boundary:],
+                            writes[boundary:])
+            warmup_cycle = int(optimistic[boundary - 1])
+            warmup_instr = int(instr_after[boundary - 1])
+        else:
+            l2.batch_access(addrs, times, writes)
+            warmup_cycle = 0
+            warmup_instr = 0
+
+        final_cycle = int(optimistic[-1])
+        reads = np.flatnonzero(~writes)
+        if reads.size:
+            # The drain raises the clock to the last outstanding load's
+            # completion; earlier loads completed no later (proof 1).
+            final_cycle = max(final_cycle, int(completes[reads[-1]]))
+
+        return ExecutionResult(
+            cycles=final_cycle - warmup_cycle,
+            instructions=int(instr_after[-1]) - warmup_instr,
+            l2_requests=n - warmup_refs,
+            warmup_cycles=warmup_cycle,
+        )
+
+
+class _ProbeOutcome(NamedTuple):
+    """Access outcome of :class:`LatencyProbe` (L2Outcome-shaped)."""
+
+    complete_time: int
+    hit: bool
+    lookup_latency: int
+    predictable: bool
+    write: bool
+
+
+class LatencyProbe:
+    """A fixed-latency L2 stand-in declaring the vectorized batch contract.
+
+    Every access hits at a constant ``lookup_latency``, independent of
+    time, address, and call order — which is exactly what lets the
+    batched backend vectorize a whole trace against it.  The probe is a
+    backend-benchmark fixture (``replay.probe.*`` in ``repro perf``) and
+    a differential-test design, not a paper design: it isolates the
+    replay loop's own cost from any L2 model's.
+
+    Statistics are integer counters only, so batch updates are exactly
+    equal to per-access updates (no float accumulation order to
+    preserve).
+    """
+
+    install_order = "popular_last"
+    supports_batch = True
+
+    def __init__(self, lookup_latency: int = 20,
+                 name: str = "LatencyProbe") -> None:
+        if lookup_latency <= 0:
+            raise _config_error("probe lookup_latency must be positive")
+        self.name = name
+        self.lookup_latency = lookup_latency
+        self.stats = {"requests": 0, "reads": 0, "writes": 0, "hits": 0}
+
+    def access(self, addr: int, time: int, write: bool = False) -> _ProbeOutcome:
+        stats = self.stats
+        stats["requests"] += 1
+        stats["hits"] += 1
+        if write:
+            stats["writes"] += 1
+        else:
+            stats["reads"] += 1
+        latency = self.lookup_latency
+        return _ProbeOutcome(complete_time=time + latency, hit=True,
+                             lookup_latency=latency, predictable=True,
+                             write=write)
+
+    def install(self, addr: int) -> None:
+        """Prewarm is a no-op: the probe hits unconditionally."""
+
+    def batch_latency(self, addrs, writes):
+        """Lookup latency per access; pure (no statistics side effects)."""
+        return _np.full(len(addrs), self.lookup_latency, dtype=_np.int64)
+
+    def batch_access(self, addrs, times, writes) -> None:
+        """Account a batch of accesses exactly as repeated ``access``."""
+        n = len(addrs)
+        written = int(writes.sum())
+        stats = self.stats
+        stats["requests"] += n
+        stats["hits"] += n
+        stats["writes"] += written
+        stats["reads"] += n - written
+
+    def reset_stats(self) -> None:
+        for key in self.stats:
+            self.stats[key] = 0
+
+
+def backend_names() -> tuple:
+    """Names :func:`resolve_backend` accepts, in registry order."""
+    return BACKEND_NAMES
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy dependency (the batched backend's
+    engine) imported successfully."""
+    return _np is not None
+
+
+def available_backend_names() -> tuple:
+    """The subset of :data:`BACKEND_NAMES` runnable on this interpreter."""
+    if numpy_available():
+        return BACKEND_NAMES
+    return ("reference",)
+
+
+def resolve_backend(backend: Union[str, SimBackend, None]) -> SimBackend:
+    """Coerce a backend argument (name, instance, or None) to an instance.
+
+    ``None`` means the reference backend.  Unknown names — and
+    ``"batched"`` on an interpreter without numpy — raise the typed
+    :class:`~repro.core.config.ConfigError`.
+    """
+    if backend is None:
+        return ReferenceBackend()
+    if isinstance(backend, SimBackend):
+        return backend
+    if backend == "reference":
+        return ReferenceBackend()
+    if backend == "batched":
+        return BatchedBackend()
+    raise _config_error(
+        f"unknown simulation backend {backend!r}; "
+        f"choose from {list(BACKEND_NAMES)}")

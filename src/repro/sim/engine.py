@@ -170,12 +170,17 @@ class Engine:
         sequence counter — which otherwise grows without bound when one
         engine is reused across runs (e.g. benchmark warmup loops).
         Reusing an engine via ``reset()`` is exactly equivalent to
-        constructing a fresh one, minus the allocation.
+        constructing a fresh one, minus the allocation.  An attached
+        sanitizer is told (``on_engine_reset``) so its per-run engine
+        progress counters rewind with the clock instead of leaking into
+        the next run.
         """
         self._now = 0
         self._seq = 0
         self._queue.clear()
         self._immediate.clear()
+        if self.sanitizer is not None:
+            self.sanitizer.on_engine_reset()
 
     def advance(self, cycles: int) -> None:
         """Advance the clock without running events (used by replay models)."""

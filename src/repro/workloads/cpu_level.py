@@ -24,7 +24,10 @@ from __future__ import annotations
 import dataclasses
 from typing import List
 
-import numpy as np
+try:  # optional at import time: only generate_cpu_trace needs numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
 
 from repro.workloads.synthetic import TraceSpec, generate_trace
 from repro.workloads.trace import Reference
@@ -70,6 +73,10 @@ def generate_cpu_trace(spec: CpuLevelSpec, n_refs: int,
     """Generate ``n_refs`` CPU-level references, deterministically."""
     if n_refs <= 0:
         raise ValueError("n_refs must be positive")
+    if np is None:
+        raise ImportError(
+            "CPU-level trace generation requires numpy, which is not "
+            "installed")
     rng = np.random.default_rng(seed ^ 0x5EED)
 
     # Far references expand each L2-level reference into a spatial run.

@@ -24,7 +24,10 @@ from __future__ import annotations
 import dataclasses
 from typing import List
 
-import numpy as np
+try:  # optional at import time: specs and resident_block_addresses are
+    import numpy as np  # pure Python; only generate_trace needs numpy
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
 
 from repro.workloads.trace import Reference
 
@@ -166,6 +169,11 @@ def generate_trace(spec: TraceSpec, n_refs: int, seed: int = 0) -> List[Referenc
     """Generate ``n_refs`` references for ``spec``, deterministically."""
     if n_refs <= 0:
         raise ValueError("n_refs must be positive")
+    if np is None:
+        raise ImportError(
+            "trace generation requires numpy, which is not installed; "
+            "replay a saved trace (repro.workloads.trace.load_trace) "
+            "or install numpy")
     rng = np.random.default_rng(seed)
 
     source = rng.random(n_refs)

@@ -1,0 +1,378 @@
+"""Differential suite: every simulation backend is observably identical.
+
+The batched backend is only shippable because this file proves, via
+:func:`repro.analysis.storage.integrity_digest`, that it produces
+byte-identical results to the reference loop — over the golden grid,
+over every registry design, and over Hypothesis-generated random cells.
+A diverging fuzz cell is dumped as a crash bundle so ``repro replay``
+can re-execute it outside the test run.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+numpy = pytest.importorskip("numpy")
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.runner import CellSpec, cache_key, run_cell
+from repro.analysis.storage import integrity_digest, result_to_dict
+from repro.core.config import ConfigError, build_design, design_names
+from repro.sim.backend import (
+    BACKEND_NAMES,
+    BatchedBackend,
+    LatencyProbe,
+    ReferenceBackend,
+    available_backend_names,
+    backend_names,
+    numpy_available,
+    resolve_backend,
+)
+from repro.sim.processor import Processor, ProcessorConfig
+from repro.sim.system import System, run_system
+from repro.workloads.synthetic import TraceSpec, generate_trace
+from repro.workloads.trace import Reference
+
+
+def result_digest(result) -> str:
+    return integrity_digest(result_to_dict(result))
+
+
+def assert_results_identical(reference, batched, context: str) -> None:
+    """Byte-level equality via the storage digest, field diff on failure."""
+    if result_digest(reference) == result_digest(batched):
+        return
+    diffs = [
+        f"{name}: reference={value!r} batched={getattr(batched, name)!r}"
+        for name, value in dataclasses.asdict(reference).items()
+        if value != getattr(batched, name)
+    ]
+    pytest.fail(f"backends diverged on {context}:\n  " + "\n  ".join(diffs))
+
+
+class TestDesignEquivalence:
+    """Every registry design, reference vs batched, digest-identical."""
+
+    @pytest.mark.parametrize("design", sorted(design_names()))
+    @pytest.mark.parametrize("workload", ["mcf", "swim"])
+    def test_design_digest_equal(self, design, workload):
+        reference = run_system(design, workload, n_refs=2500, seed=7,
+                               backend="reference")
+        batched = run_system(design, workload, n_refs=2500, seed=7,
+                             backend="batched")
+        assert_results_identical(reference, batched,
+                                 f"{design} on {workload}")
+
+    def test_small_chunks_cross_boundaries(self):
+        """The chunk-boundary carry (gap remainder, base instruction)
+        must be exact: a tiny chunk forces many boundaries."""
+        trace = generate_trace(TraceSpec(mean_gap=7.0), 1500, seed=11)
+        l2_ref = build_design("TLC")
+        l2_bat = build_design("TLC")
+        reference = Processor(l2_ref, backend="reference").run(trace, 300)
+        batched = Processor(l2_bat, backend=BatchedBackend(chunk=13)).run(
+            trace, 300)
+        assert reference == batched
+        assert l2_ref.stats.as_dict() == l2_bat.stats.as_dict()
+
+    def test_tracer_event_streams_identical(self):
+        from repro.obs.trace import EventTracer
+
+        trace = generate_trace(TraceSpec(mean_gap=9.0), 600, seed=3)
+        tracers = {}
+        for backend in ("reference", "batched"):
+            tracer = EventTracer()
+            Processor(build_design("SNUCA2"), tracer=tracer,
+                      backend=backend).run(trace, 100)
+            tracers[backend] = tracer.events()
+        assert tracers["reference"] == tracers["batched"]
+
+
+class TestGoldenGridBatched:
+    """The batched backend reproduces the pre-backend golden grid
+    byte-for-byte (the same file the reference loop is held to in
+    test_perf_harness.py)."""
+
+    GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                          "grid_equivalence.json")
+
+    def test_batched_grid_matches_golden_bytes(self, tmp_path):
+        from repro.analysis.runner import run_grid
+        from repro.analysis.storage import save_grid
+
+        grid = run_grid(designs=("SNUCA2", "DNUCA", "TLC", "TLCopt500"),
+                        benchmarks=("perl", "bzip", "mcf", "swim"),
+                        n_refs=3000, seed=7, backend="batched")
+        out = tmp_path / "grid.json"
+        save_grid(str(out), grid)
+        with open(self.GOLDEN, "rb") as handle:
+            golden_bytes = handle.read()
+        assert out.read_bytes() == golden_bytes
+
+
+def _dump_divergence_bundle(crash_dir, cell: CellSpec, reference, batched):
+    """Write a diverging fuzz cell as a replayable crash bundle."""
+    from repro.sanitizer.bundle import write_crash_bundle
+
+    error = AssertionError(
+        f"backend divergence: reference digest "
+        f"{result_digest(reference)[:16]} != batched digest "
+        f"{result_digest(batched)[:16]}")
+    trace = generate_trace(cell.trace_spec, cell.n_refs, seed=cell.seed)
+    config = cell.processor_config or ProcessorConfig()
+    return write_crash_bundle(
+        str(crash_dir),
+        design=cell.design,
+        benchmark=cell.benchmark,
+        seed=cell.seed,
+        warmup_refs=int(cell.n_refs * cell.warmup_fraction),
+        trace=trace,
+        error=error,
+        processor_config=dataclasses.asdict(config),
+        tech=cell.tech.name,
+        memory_latency_cycles=cell.memory_latency_cycles,
+    )
+
+
+# Small, fast cells spanning the stall machinery: tiny windows and MSHR
+# counts make the ROB/MSHR/dependence paths bind, tiny gaps stress the
+# issue-cycle remainder carry.
+cell_specs = st.builds(
+    CellSpec,
+    design=st.sampled_from(sorted(design_names())),
+    benchmark=st.just("fuzz"),
+    n_refs=st.integers(min_value=200, max_value=800),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    warmup_fraction=st.sampled_from([0.0, 0.25, 0.5]),
+    processor_config=st.builds(
+        ProcessorConfig,
+        issue_width=st.sampled_from([1, 2, 4]),
+        rob_entries=st.sampled_from([16, 64, 128]),
+        mshrs=st.sampled_from([1, 2, 8]),
+        l1_latency=st.sampled_from([0, 3]),
+    ),
+    trace_spec=st.builds(
+        TraceSpec,
+        mean_gap=st.sampled_from([1.0, 3.0, 12.0, 40.0]),
+        stream_fraction=st.sampled_from([0.0, 0.3]),
+        cold_fraction=st.sampled_from([0.0, 0.2]),
+        hot_blocks=st.sampled_from([64, 512, 2048]),
+        write_fraction=st.sampled_from([0.0, 0.3, 0.8]),
+        dependent_fraction=st.sampled_from([0.0, 0.5]),
+    ),
+)
+
+
+class TestDifferentialFuzz:
+    """Hypothesis-generated random cells, reference ≡ batched."""
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(cell=cell_specs)
+    def test_random_cells_digest_equal(self, cell, tmp_path_factory):
+        reference = run_cell(cell)
+        batched = run_cell(dataclasses.replace(cell, backend="batched"))
+        if result_digest(reference) != result_digest(batched):
+            crash_dir = tmp_path_factory.mktemp("divergence")
+            bundle = _dump_divergence_bundle(crash_dir, cell, reference,
+                                             batched)
+            pytest.fail(f"backends diverged on {cell}; crash bundle "
+                        f"written to {bundle} (repro replay {bundle})")
+
+    def test_divergence_dumps_replayable_bundle(self, tmp_path):
+        """The dump path itself, proven against a deliberately broken
+        backend: the bundle must load and replay."""
+        from repro.sanitizer import load_bundle, replay_bundle
+
+        class OffByOneBackend(BatchedBackend):
+            def execute(self, processor, trace, warmup_refs=0):
+                result = super().execute(processor, trace, warmup_refs)
+                return dataclasses.replace(result, cycles=result.cycles + 1)
+
+        cell = CellSpec(design="TLC", benchmark="fuzz", n_refs=400, seed=5,
+                        trace_spec=TraceSpec(mean_gap=10.0))
+        trace = generate_trace(cell.trace_spec, cell.n_refs, seed=cell.seed)
+        reference = System("TLC").run(trace, warmup_refs=100)
+        broken = System("TLC", backend=None)
+        broken.processor.backend = OffByOneBackend()
+        batched = broken.run(trace, warmup_refs=100)
+        assert result_digest(reference) != result_digest(batched)
+
+        bundle_path = _dump_divergence_bundle(tmp_path, cell, reference,
+                                              batched)
+        bundle = load_bundle(bundle_path)
+        assert bundle.error["type"] == "AssertionError"
+        assert len(bundle.trace) == cell.n_refs
+        outcome = replay_bundle(bundle)
+        # A healthy simulator replays the cell cleanly — the bundle's
+        # value is the preserved diverging trace, not a violation.
+        assert outcome.refs == cell.n_refs
+
+
+class TestBackendSelection:
+    """Name registry, config plumbing, and the result-cache key."""
+
+    def test_registry_names(self):
+        assert BACKEND_NAMES == ("reference", "batched")
+        assert backend_names() == BACKEND_NAMES
+        assert numpy_available()
+        assert available_backend_names() == BACKEND_NAMES
+
+    def test_resolve_backend(self):
+        assert isinstance(resolve_backend(None), ReferenceBackend)
+        assert isinstance(resolve_backend("reference"), ReferenceBackend)
+        assert isinstance(resolve_backend("batched"), BatchedBackend)
+        instance = BatchedBackend(chunk=64)
+        assert resolve_backend(instance) is instance
+        with pytest.raises(ConfigError):
+            resolve_backend("bogus")
+
+    def test_design_config_backend_field(self, monkeypatch):
+        import repro.core.config as config_module
+
+        assert build_design("TLC", backend="batched").config.backend == "batched"
+        with pytest.raises(ConfigError):
+            build_design("TLC", backend="bogus")
+        # System defers to the design config when no backend is given,
+        # and an explicit argument wins over the config.
+        monkeypatch.setitem(
+            config_module.DESIGNS, "TLC",
+            dataclasses.replace(config_module.DESIGNS["TLC"],
+                                backend="batched"))
+        assert System("TLC").processor.backend.name == "batched"
+        explicit = System("TLC", backend="reference")
+        assert explicit.processor.backend.name == "reference"
+
+    def test_backend_part_of_cache_key(self):
+        cell = CellSpec(design="TLC", benchmark="mcf", n_refs=1000, seed=7)
+        batched = dataclasses.replace(cell, backend="batched")
+        assert cell.key_fields()["backend"] == "reference"
+        assert batched.key_fields()["backend"] == "batched"
+        assert cache_key(cell) != cache_key(batched)
+
+    def test_grid_cell_specs_thread_backend(self):
+        from repro.analysis.runner import grid_cell_specs
+
+        cells, _ = grid_cell_specs(("TLC",), ("mcf",), n_refs=500,
+                                   backend="batched")
+        assert all(cell.backend == "batched" for cell in cells)
+
+
+class TestConfigErrors:
+    """Unsupported combinations refuse with the typed ConfigError."""
+
+    def test_batched_rejects_sanitize(self):
+        with pytest.raises(ConfigError, match="sanitize"):
+            run_system("TLC", "mcf", n_refs=500, seed=7,
+                       backend="batched", sanitize=True)
+
+    def test_batched_rejects_attached_sanitizer_directly(self):
+        from repro.sanitizer import Sanitizer
+
+        processor = Processor(build_design("TLC"), backend="batched")
+        Sanitizer().attach_processor(processor)
+        trace = [Reference(10, 0, False, False)]
+        with pytest.raises(ConfigError):
+            processor.run(trace)
+
+    def test_batched_requires_numpy(self, monkeypatch):
+        import repro.sim.backend as backend_module
+
+        monkeypatch.setattr(backend_module, "_np", None)
+        assert not backend_module.numpy_available()
+        assert backend_module.available_backend_names() == ("reference",)
+        with pytest.raises(ConfigError, match="numpy"):
+            backend_module.resolve_backend("batched")
+
+    def test_full_system_rejects_batched(self):
+        from repro.sim.full_system import FullSystem
+
+        with pytest.raises(ConfigError, match="full-system"):
+            FullSystem("TLC", backend="batched")
+        with pytest.raises(ConfigError):
+            FullSystem("TLC", backend="bogus")
+
+
+class TestProbeFastPath:
+    """The fully vectorized path against the LatencyProbe fixture."""
+
+    @staticmethod
+    def _trace(n=3000):
+        from repro.analysis.perf.suite import _probe_trace
+
+        return _probe_trace(n)
+
+    def test_probe_results_and_stats_identical(self):
+        trace = self._trace()
+        ref_probe, bat_probe = LatencyProbe(), LatencyProbe()
+        reference = Processor(ref_probe, backend="reference").run(trace, 500)
+        batched = Processor(bat_probe, backend="batched").run(trace, 500)
+        assert reference == batched
+        assert ref_probe.stats == bat_probe.stats
+
+    def test_vectorized_path_is_taken(self):
+        trace = self._trace()
+        backend = BatchedBackend()
+        processor = Processor(LatencyProbe(), backend=backend)
+        assert backend._execute_vectorized(processor, trace, 0) is not None
+
+    def test_stalling_trace_falls_back_and_agrees(self):
+        # Back-to-back dependent loads (gap 0) break the no-stall proof;
+        # the chunked loop must take over and still match the reference.
+        trace = [Reference(0, i * 64, False, True) for i in range(800)]
+        backend = BatchedBackend()
+        processor = Processor(LatencyProbe(), backend=backend)
+        assert backend._execute_vectorized(processor, trace, 0) is None
+        reference = Processor(LatencyProbe(), backend="reference").run(trace)
+        batched = Processor(LatencyProbe(), backend=backend).run(trace)
+        assert reference == batched
+
+    def test_probe_vectorized_with_writes_and_warmup(self):
+        trace = [Reference(16, i * 64, i % 4 == 3, False)
+                 for i in range(2000)]
+        ref_probe, bat_probe = LatencyProbe(), LatencyProbe()
+        reference = Processor(ref_probe, backend="reference").run(trace, 400)
+        batched = Processor(bat_probe, backend="batched").run(trace, 400)
+        assert reference == batched
+        assert ref_probe.stats == bat_probe.stats
+
+
+class TestCLIBackend:
+    """`repro run --backend` and `repro grid --backend` plumbing."""
+
+    def test_run_backend_batched(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "TLC", "mcf", "--refs", "800",
+                     "--backend", "batched"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_run_backend_unknown_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "TLC", "mcf", "--refs", "200",
+                     "--backend", "bogus"]) == 2
+        assert "backend" in capsys.readouterr().err
+
+    def test_run_backend_batched_sanitize_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "TLC", "mcf", "--refs", "200",
+                     "--backend", "batched", "--sanitize"]) == 2
+        err = capsys.readouterr().err
+        assert "sanitize" in err
+
+    def test_grid_backend_matches_reference(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_ref = tmp_path / "ref.json"
+        out_bat = tmp_path / "bat.json"
+        assert main(["grid", "--designs", "TLC", "--benchmarks", "mcf",
+                     "--refs", "1000", "--save", str(out_ref)]) == 0
+        assert main(["grid", "--designs", "TLC", "--benchmarks", "mcf",
+                     "--refs", "1000", "--backend", "batched",
+                     "--save", str(out_bat)]) == 0
+        capsys.readouterr()
+        assert out_ref.read_bytes() == out_bat.read_bytes()

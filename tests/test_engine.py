@@ -185,6 +185,86 @@ class TestReset:
         assert fired == [5]
 
 
+class TestResetWithSanitizer:
+    """Engine.reset() must rewind an attached sanitizer's per-run
+    progress counters (``on_engine_reset``); before the hook existed, a
+    reused sanitized engine accumulated same-cycle counts across runs
+    and tripped a false ``engine.livelock``."""
+
+    @staticmethod
+    def _sanitized_engine(max_same_cycle):
+        from repro.sanitizer import Sanitizer, SanitizerConfig
+
+        engine = Engine()
+        sanitizer = Sanitizer(SanitizerConfig(
+            max_same_cycle_events=max_same_cycle))
+        sanitizer.attach_engine(engine)
+        return engine
+
+    @staticmethod
+    def _burst(engine, events):
+        # Events at time 0 dispatch with event_time == now from the
+        # first one on, so every dispatch counts as same-cycle.
+        for _ in range(events):
+            engine.schedule_at(0, lambda: None)
+        engine.run()
+
+    def test_reset_rewinds_same_cycle_counter(self):
+        engine = self._sanitized_engine(max_same_cycle=10)
+        for _ in range(5):  # 8 same-cycle events per run, reset between
+            self._burst(engine, 8)
+            engine.reset()
+
+    def test_without_reset_counter_accumulates(self):
+        from repro.sanitizer import SanitizerViolation
+
+        engine = self._sanitized_engine(max_same_cycle=10)
+        self._burst(engine, 8)
+        with pytest.raises(SanitizerViolation, match="livelock"):
+            self._burst(engine, 8)
+
+    def test_reset_engine_matches_fresh_engine_when_sanitized(self):
+        def exercise(engine):
+            order = []
+            engine.schedule(5, lambda: order.append((engine.now, "a")))
+            engine.schedule(5, lambda: order.append((engine.now, "b")))
+            engine.run()
+            return order, engine.now
+
+        reused = self._sanitized_engine(max_same_cycle=100)
+        exercise(reused)
+        reused.reset()
+        assert exercise(reused) == exercise(
+            self._sanitized_engine(max_same_cycle=100))
+
+    def test_reset_without_sanitizer_is_unaffected(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0 and engine.pending == 0
+
+
+class TestEngineIndependentOfReplayBackend:
+    """The replay backends (``repro.sim.backend``) never touch the
+    event engine: backend selection must leave engine-based simulations
+    (full-system mode) byte-identical."""
+
+    def test_backend_module_has_no_engine_coupling(self):
+        import repro.sim.backend as backend_module
+
+        assert "Engine" not in vars(backend_module)
+        assert "engine" not in vars(backend_module)
+
+    def test_full_system_is_reference_only(self):
+        from repro.core.config import ConfigError
+        from repro.sim.full_system import FullSystem
+
+        assert FullSystem("TLC").backend == "reference"
+        with pytest.raises(ConfigError):
+            FullSystem("TLC", backend="batched")
+
+
 class TestStepAndAdvance:
     def test_step_runs_single_event(self):
         engine = Engine()

@@ -210,6 +210,67 @@ class TestSuite:
         assert result.meta["ops_per_sec"] > 0
 
 
+class TestFilterZeroMatch:
+    """`repro perf --filter` with a pattern matching nothing must fail
+    loudly (exit 2) and list the available benchmark names — it used to
+    exit 0 after silently running nothing."""
+
+    def test_run_suite_empty_on_no_match(self):
+        results, _ = run_suite(quick=True,
+                               name_filter="no-such-benchmark",
+                               reps=1, pin=False)
+        assert results == {}
+
+    def test_perf_cli_exits_2_and_lists_names(self, capsys):
+        from repro.cli import main
+
+        assert main(["perf", "--quick", "--reps", "1", "--no-pin",
+                     "--filter", "no-such-benchmark"]) == 2
+        err = capsys.readouterr().err
+        assert "no benchmark matches filter 'no-such-benchmark'" in err
+        for name in benchmark_names():
+            assert name in err
+
+    def test_perf_list_respects_filter(self, capsys):
+        from repro.cli import main
+
+        assert main(["perf", "--list", "--filter", "calibration"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == [CALIBRATION_BENCHMARK]
+
+    def test_perf_list_exits_2_on_no_match(self, capsys):
+        from repro.cli import main
+
+        assert main(["perf", "--list",
+                     "--filter", "no-such-benchmark"]) == 2
+        assert "available benchmarks" in capsys.readouterr().err
+
+
+class TestBackendBenchmarks:
+    """The backend-parameterized benchmarks the speedup gate reads."""
+
+    def test_probe_pair_registered(self):
+        names = benchmark_names()
+        assert "replay.probe.reference" in names
+        numpy_installed = True
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            numpy_installed = False
+        assert ("replay.probe.batched" in names) == numpy_installed
+        assert ("system.refs_per_sec.tlc.batched" in names) == numpy_installed
+
+    def test_backend_speedup_lines_printed(self, capsys):
+        pytest.importorskip("numpy")
+        from repro.cli import main
+
+        assert main(["perf", "--quick", "--reps", "1", "--no-pin",
+                     "--filter", "replay.probe"]) == 0
+        out = capsys.readouterr().out
+        assert "backend speedup (batched vs reference):" in out
+        assert "replay.probe:" in out
+
+
 class TestGridEquivalence:
     """The optimized simulator must reproduce the pre-optimization grid
     byte-for-byte (same JSON, same floats, same ordering)."""
