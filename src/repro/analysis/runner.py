@@ -102,6 +102,19 @@ class CellSpec:
     #: name is still part of the cache key for the same provenance
     #: reason as ``sanitize``: an entry records *how* it was computed.
     backend: str = "reference"
+    #: registry design this cell's ``design`` is a *variant* of.  When
+    #: set, ``design`` is a display name (not a registry key) and the
+    #: cell is built as ``build_design(design_base, name=design,
+    #: **design_overrides)`` — the design-space exploration layer
+    #: (:mod:`repro.explore`) runs its expanded variants through the
+    #: grid this way.  ``None`` (every classic cell) keeps ``design``
+    #: as the registry name.
+    design_base: Optional[str] = None
+    #: canonical sorted ``(field, value)`` override pairs applied to the
+    #: base config (see :class:`~repro.core.config.DesignVariant`).
+    #: Part of the cache key: two variants differing in any override
+    #: are different simulations.
+    design_overrides: Optional[Tuple[Tuple[str, object], ...]] = None
 
     def key_fields(self) -> dict:
         """The canonical, JSON-able dictionary the cache key hashes."""
@@ -119,6 +132,10 @@ class CellSpec:
             "memory_latency_cycles": self.memory_latency_cycles,
             "sanitize": self.sanitize,
             "backend": self.backend,
+            "design_base": self.design_base,
+            "design_overrides": (None if self.design_overrides is None
+                                 else [[field, value] for field, value
+                                       in self.design_overrides]),
         }
 
 
@@ -137,19 +154,29 @@ def run_cell(cell: CellSpec) -> SystemResult:
 
     memory = (None if cell.memory_latency_cycles is None
               else MainMemory(latency_cycles=cell.memory_latency_cycles))
+    design = cell.design
+    overrides: Dict[str, object] = {}
+    if cell.design_base is not None:
+        # A variant cell: build the base design under the variant's own
+        # name so the result (and the grid row) carries that name.
+        design = cell.design_base
+        overrides = dict(cell.design_overrides or ())
+        overrides["name"] = cell.design
     if cell.trace_spec is not None:
         trace = generate_trace(cell.trace_spec, cell.n_refs, seed=cell.seed)
-        return run_system(cell.design, cell.benchmark, trace=trace,
+        return run_system(design, cell.benchmark, trace=trace,
                           warmup_fraction=cell.warmup_fraction,
                           prewarm_spec=cell.trace_spec,
                           processor_config=cell.processor_config,
                           tech=cell.tech, memory=memory,
-                          sanitize=cell.sanitize, backend=cell.backend)
-    return run_system(cell.design, cell.benchmark, n_refs=cell.n_refs,
+                          sanitize=cell.sanitize, backend=cell.backend,
+                          **overrides)
+    return run_system(design, cell.benchmark, n_refs=cell.n_refs,
                       seed=cell.seed, warmup_fraction=cell.warmup_fraction,
                       processor_config=cell.processor_config,
                       tech=cell.tech, memory=memory,
-                      sanitize=cell.sanitize, backend=cell.backend)
+                      sanitize=cell.sanitize, backend=cell.backend,
+                      **overrides)
 
 
 def run_cell_timed(cell: CellSpec) -> Tuple[SystemResult, float]:
@@ -426,7 +453,27 @@ def execute_cells(cells: Sequence[CellSpec], workers: int = 1,
                                       **resilience)]
 
 
-def grid_cell_specs(designs: Sequence[str],
+def design_label(design) -> str:
+    """The grid-row name of one ``designs`` entry (name or variant)."""
+    return design if isinstance(design, str) else design.name
+
+
+def _cell_design_fields(design) -> Tuple[str, Optional[str],
+                                         Optional[Tuple[Tuple[str, object],
+                                                        ...]]]:
+    """``(design, design_base, design_overrides)`` for one entry.
+
+    A plain string is a registry design name; anything else is treated
+    as a :class:`~repro.core.config.DesignVariant` (duck-typed on
+    ``name`` / ``base`` / ``overrides`` so the runner does not import
+    the exploration layer).
+    """
+    if isinstance(design, str):
+        return design, None, None
+    return design.name, design.base, tuple(design.overrides)
+
+
+def grid_cell_specs(designs: Sequence,
                     benchmarks: Optional[Sequence[str]] = None,
                     n_refs: int = 30_000, seed: int = 7,
                     warmup_fraction: float = 0.3,
@@ -443,18 +490,26 @@ def grid_cell_specs(designs: Sequence[str],
     derived-artifact lane fingerprints a whole report by its cells'
     cache keys before deciding whether any simulation is needed at all
     — get it from here for the cost of a few hashes.
+
+    ``designs`` entries are registry names (strings) or
+    :class:`~repro.core.config.DesignVariant`-like objects; a variant's
+    cell carries its base design and override pairs so pool workers can
+    rebuild it without any registry mutation.
     """
     if benchmarks is None:
         benchmarks = benchmark_names()
-    cells = [CellSpec(design=design, benchmark=benchmark, n_refs=n_refs,
+    fields = [_cell_design_fields(design) for design in designs]
+    cells = [CellSpec(design=name, benchmark=benchmark, n_refs=n_refs,
                       seed=seed, warmup_fraction=warmup_fraction,
                       processor_config=processor_config, tech=tech,
-                      sanitize=sanitize, backend=backend)
-             for benchmark in benchmarks for design in designs]
+                      sanitize=sanitize, backend=backend,
+                      design_base=base, design_overrides=overrides)
+             for benchmark in benchmarks
+             for name, base, overrides in fields]
     return cells, tuple(benchmarks)
 
 
-def run_grid(designs: Sequence[str],
+def run_grid(designs: Sequence,
              benchmarks: Optional[Sequence[str]] = None,
              n_refs: int = 30_000, seed: int = 7,
              warmup_fraction: float = 0.3,
@@ -478,6 +533,11 @@ def run_grid(designs: Sequence[str],
     ``backend`` selects the simulation backend for every cell (see
     :mod:`repro.sim.backend`); the differential suite proves grids are
     byte-identical across backends.
+
+    ``designs`` entries may be registry names or
+    :class:`~repro.core.config.DesignVariant`-like objects (see
+    :func:`grid_cell_specs`); the returned grid is keyed by each
+    entry's display name either way.
     """
     from repro.analysis.experiments import ExperimentGrid
 
@@ -510,5 +570,6 @@ def run_grid(designs: Sequence[str],
         }
         for outcome in outcomes
     }
-    return ExperimentGrid(tuple(designs), tuple(benchmarks), cell_results,
+    return ExperimentGrid(tuple(design_label(design) for design in designs),
+                          tuple(benchmarks), cell_results,
                           cell_meta=cell_meta)

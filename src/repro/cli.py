@@ -12,6 +12,8 @@ Subcommands:
 * ``compare <benchmark>`` — all designs on one benchmark, as a chart.
 * ``trace <benchmark>`` — generate and characterize a trace.
 * ``report`` — the full measured-vs-paper markdown report.
+* ``explore`` — search a declarative design space (docs/EXPLORATION.md)
+  and rank its variants on a Fig-5-style leaderboard.
 
 Design names are forgiving: ``tlc_opt_500`` and ``TLCopt500`` both
 work (see :func:`repro.core.config.resolve_design_name`).
@@ -559,6 +561,88 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_explore(args) -> int:
+    import json
+    import time as _time
+
+    from repro.core.config import ConfigError
+    from repro.explore import (
+        build_search_manifest,
+        leaderboard_artifact,
+        run_search,
+        validate_space_spec,
+    )
+    from repro.obs import MetricsRegistry
+
+    started = _time.perf_counter()
+    try:
+        with open(args.space, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        print(f"error: cannot read space file: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: {args.space} is not valid JSON: {error}",
+              file=sys.stderr)
+        return 2
+
+    cache = _grid_cache(args)
+    lane = _derived_lane(args)
+    policy, checkpoint, telemetry = _grid_resilience(args)
+    registry = MetricsRegistry()
+    try:
+        spec = validate_space_spec(payload)
+        result = run_search(spec, driver=args.driver, seed=args.seed,
+                            budget=args.budget, workers=args.workers,
+                            cache=cache, policy=policy,
+                            checkpoint=checkpoint, telemetry=telemetry,
+                            backend=args.backend, registry=registry)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    artifact = leaderboard_artifact(result, lane, top_k=args.top_k)
+    text = artifact["rendered"]
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"leaderboard written to {args.out}")
+    else:
+        print(text)
+    if args.trajectory_out:
+        document = json.dumps(result.trajectory(), indent=1,
+                              sort_keys=True) + "\n"
+        with open(args.trajectory_out, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"trajectory written to {args.trajectory_out}")
+    # The smoke-test contract line: a repeated search against a warm
+    # cache must report "0 cell(s) simulated" (CI greps for it).
+    print(f"explore: {result.cells_simulated} cell(s) simulated, "
+          f"{result.cells_from_cache} cache hit(s) across "
+          f"{len(result.rounds)} round(s); "
+          f"{result.variants_total} variant(s) in space, "
+          f"{result.variants_skipped} skipped")
+    if cache is not None:
+        print(f"cache: {cache.hits} hit(s), {cache.stores} cell(s) "
+              f"simulated and stored under {args.cache_dir}")
+    if lane.enabled:
+        print(lane.summary())
+    if telemetry is not None:
+        print(f"resilience: {telemetry.summary()}")
+    if args.metrics_out:
+        from repro.obs import save_manifest
+
+        lane.register(registry)
+        if telemetry is not None:
+            telemetry.register(registry)
+        manifest = build_search_manifest(
+            result, wall_time_s=_time.perf_counter() - started,
+            metrics=registry.snapshot(), top_k=args.top_k)
+        save_manifest(args.metrics_out, manifest)
+        print(f"search manifest written to {args.metrics_out}")
+    return 0
+
+
 def _cmd_perf(args) -> int:
     from repro.analysis.perf import (
         bench_document,
@@ -828,6 +912,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(report)
     _add_derived_flags(report)
     report.set_defaults(func=_cmd_report)
+
+    explore = sub.add_parser(
+        "explore",
+        help="search a declarative design space and rank its variants")
+    explore.add_argument("--space", required=True, metavar="FILE",
+                         help="JSON SpaceSpec document "
+                              "(docs/EXPLORATION.md has the reference)")
+    explore.add_argument("--driver", default="random",
+                         choices=["random", "grid", "halving"],
+                         help="search driver (default: random)")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="search seed — drives candidate selection "
+                              "only; the trace seed lives in the spec")
+    explore.add_argument("--budget", type=int, default=8,
+                         help="variants admitted to evaluation")
+    explore.add_argument("--top-k", type=int, default=5, dest="top_k",
+                         help="variants shown on the leaderboard")
+    explore.add_argument("--backend", default=None, metavar="NAME",
+                         help="override the spec's simulation backend "
+                              "('reference' or 'batched')")
+    explore.add_argument("--workers", type=int, default=1,
+                         help="worker processes for grid cells (1 = serial)")
+    explore.add_argument("--cache-dir",
+                         help="content-addressed result cache directory; "
+                              "a repeated search (or one sharing cells "
+                              "with any other command) simulates only "
+                              "what is new")
+    explore.add_argument("--out", metavar="FILE",
+                         help="write the leaderboard to this path "
+                              "(byte-identical across repeated runs)")
+    explore.add_argument("--trajectory-out", metavar="FILE",
+                         help="write the deterministic search-trajectory "
+                              "JSON to this path")
+    explore.add_argument("--metrics-out", metavar="FILE",
+                         help="write a kind=explore.search run manifest "
+                              "(explore.* counters, wall time, cache "
+                              "provenance) as JSON")
+    _add_resilience_flags(explore)
+    _add_derived_flags(explore)
+    explore.set_defaults(func=_cmd_explore)
 
     perf = sub.add_parser(
         "perf", help="run the microbenchmark suite; optionally compare "

@@ -248,6 +248,113 @@ class DesignConfig:
         return (bank + oh, bank + oh + max_hops * per_hop)
 
 
+#: Fields a :class:`DesignVariant` may not override.  ``name`` is the
+#: variant's own identity (set from ``DesignVariant.name``), and
+#: ``backend`` must be selected per *run*, not per design: the grid
+#: runner always passes an explicit backend to ``run_system`` (it is
+#: part of every cell's cache key), so a config-level override would be
+#: silently ignored — better to refuse it at the door.
+RESERVED_VARIANT_FIELDS = ("name", "backend")
+
+
+def _freeze_override_value(value):
+    """Coerce JSON-decoded override values to their canonical form.
+
+    Lists become tuples (``controller_rt_delays`` arrives as a JSON
+    array) so variants stay hashable and two spellings of one override
+    compare equal.
+    """
+    if isinstance(value, list):
+        return tuple(_freeze_override_value(item) for item in value)
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignVariant:
+    """A named variant of a registered design: ``base`` + field overrides.
+
+    This is the unit the design-space exploration layer
+    (:mod:`repro.explore`) expands a :class:`~repro.explore.SpaceSpec`
+    into, and the grid runner accepts anywhere a design *name* is
+    accepted (see :func:`repro.analysis.runner.grid_cell_specs`).
+    ``overrides`` is a canonical sorted tuple of ``(field, value)``
+    pairs — hashable, picklable, and JSON-able — applied through
+    :func:`build_design`-style ``dataclasses.replace``, so an invalid
+    combination fails with the same typed :class:`ConfigError` as any
+    other bad config.
+
+    Construction validates eagerly: the base must resolve against the
+    registry, override fields must exist on :class:`DesignConfig` (and
+    not be reserved), and the resulting config must pass
+    ``DesignConfig.__post_init__`` — an unbuildable variant never
+    escapes.
+    """
+
+    name: str
+    base: str
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigError(
+                "design variant name must be a non-empty string, "
+                f"got {self.name!r}")
+        try:
+            object.__setattr__(self, "base", resolve_design_name(self.base))
+        except (ValueError, AttributeError) as error:
+            raise ConfigError(f"variant {self.name}: {error}") from error
+        overrides = self.overrides
+        if isinstance(overrides, dict):
+            overrides = tuple(sorted(overrides.items()))
+        try:
+            overrides = tuple(
+                (field, _freeze_override_value(value))
+                for field, value in overrides)
+        except (TypeError, ValueError) as error:
+            raise ConfigError(
+                f"variant {self.name}: overrides must be (field, value) "
+                f"pairs, got {self.overrides!r}") from error
+        fields = sorted(field for field, _ in overrides)
+        if len(set(fields)) != len(fields):
+            duplicates = sorted({f for f in fields if fields.count(f) > 1})
+            raise ConfigError(
+                f"variant {self.name}: duplicate override field(s) "
+                f"{duplicates}")
+        known = {f.name for f in dataclasses.fields(DesignConfig)}
+        for field, _ in overrides:
+            if not isinstance(field, str) or field not in known:
+                raise ConfigError(
+                    f"variant {self.name}: unknown override field "
+                    f"{field!r}; known fields: {sorted(known)}")
+            if field in RESERVED_VARIANT_FIELDS:
+                reason = ("variants are named by their own name field"
+                          if field == "name"
+                          else "select the backend per run, not per design")
+                raise ConfigError(
+                    f"variant {self.name}: field {field!r} cannot be "
+                    f"overridden by a variant ({reason})")
+        object.__setattr__(self, "overrides",
+                           tuple(sorted(overrides)))
+        self.config()  # raises ConfigError for an unbuildable combination
+
+    def config(self) -> DesignConfig:
+        """The validated :class:`DesignConfig` this variant describes."""
+        base = get_design(self.base)
+        try:
+            return dataclasses.replace(base, name=self.name,
+                                       **dict(self.overrides))
+        except TypeError as error:
+            raise ConfigError(
+                f"variant {self.name}: bad override ({error})") from error
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (overrides as a ``{field: value}`` object)."""
+        return {"name": self.name, "base": self.base,
+                "overrides": {field: (list(value) if isinstance(value, tuple)
+                                      else value)
+                              for field, value in self.overrides}}
+
+
 def _tlc_controller_delays(pairs: int, max_delay: int) -> Tuple[int, ...]:
     """Round-trip controller wire delay per pair, from landing position.
 
@@ -372,14 +479,16 @@ def get_design(name: str) -> DesignConfig:
     return DESIGNS[resolve_design_name(name)]
 
 
-def build_design(name: str, memory: Optional[MainMemory] = None,
+def build_design(design: str, memory: Optional[MainMemory] = None,
                  tech: Technology = TECH_45NM, **overrides):
-    """Instantiate the simulator for design ``name``.
+    """Instantiate the simulator for design ``design``.
 
     ``overrides`` replace fields of the registered config (e.g.
-    ``replacement="frequency"`` for the ablation study).
+    ``replacement="frequency"`` for the ablation study, or ``name=...``
+    plus axis fields for an exploration variant — the parameter is
+    called ``design`` precisely so a ``name`` override stays available).
     """
-    config = get_design(name)
+    config = get_design(design)
     if overrides:
         try:
             config = dataclasses.replace(config, **overrides)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.core.config import ConfigError, get_design, resolve_design_name
 from repro.workloads.profiles import benchmark_names

@@ -107,3 +107,43 @@ class TestBuildDesign:
     def test_build_unknown_raises(self):
         with pytest.raises(ValueError):
             build_design("nope")
+
+
+class TestDesignVariant:
+    def test_variant_builds_config_under_its_own_name(self):
+        from repro.core.config import DesignVariant
+
+        variant = DesignVariant(name="snuca2-fast", base="snuca2",
+                                overrides={"bank_access_cycles": 2})
+        config = variant.config()
+        assert config.name == "snuca2-fast"
+        assert config.bank_access_cycles == 2
+        assert variant.base == "SNUCA2"  # resolved registry spelling
+
+    def test_overrides_canonicalize_to_sorted_tuples(self):
+        from repro.core.config import DesignVariant
+
+        one = DesignVariant(name="v", base="SNUCA2",
+                            overrides={"mesh_hop_latency": 2,
+                                       "bank_access_cycles": 3})
+        two = DesignVariant(name="v", base="SNUCA2",
+                            overrides=(("bank_access_cycles", 3),
+                                       ("mesh_hop_latency", 2)))
+        assert one == two
+        assert one.as_dict()["overrides"] == {"bank_access_cycles": 3,
+                                              "mesh_hop_latency": 2}
+
+    def test_reserved_and_unknown_fields_are_refused(self):
+        from repro.core.config import ConfigError, DesignVariant
+
+        for overrides in ({"name": "x"}, {"backend": "batched"},
+                          {"bogus": 1}):
+            with pytest.raises(ConfigError):
+                DesignVariant(name="v", base="SNUCA2", overrides=overrides)
+
+    def test_unbuildable_combination_is_a_typed_error(self):
+        from repro.core.config import ConfigError, DesignVariant
+
+        with pytest.raises(ConfigError, match="bank_access_cycles"):
+            DesignVariant(name="v", base="SNUCA2",
+                          overrides={"bank_access_cycles": 0})

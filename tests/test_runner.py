@@ -251,3 +251,42 @@ class TestRunCell:
                                  n_refs=N_REFS, seed=7,
                                  memory_latency_cycles=900))
         assert slow.cycles > fast.cycles
+
+
+class TestVariantCells:
+    """Design-variant cells: the plumbing repro.explore rides on."""
+
+    def _variant(self, cycles=2):
+        from repro.core.config import DesignVariant
+
+        return DesignVariant(name="snuca2-fast", base="SNUCA2",
+                             overrides={"bank_access_cycles": cycles})
+
+    def test_variant_grid_is_keyed_by_variant_name(self):
+        grid = run_grid(["SNUCA2", self._variant()], benchmarks=("gcc",),
+                        n_refs=N_REFS)
+        assert grid.designs == ("SNUCA2", "snuca2-fast")
+        result = grid.result("snuca2-fast", "gcc")
+        assert result.design == "snuca2-fast"
+        # The override took: two fewer bank cycles beat the base design.
+        assert result.cycles < grid.result("SNUCA2", "gcc").cycles
+
+    def test_variant_and_base_have_distinct_cache_keys(self):
+        from repro.analysis.runner import grid_cell_specs
+
+        cells, _ = grid_cell_specs(designs=["SNUCA2", self._variant()],
+                                   benchmarks=("gcc",), n_refs=N_REFS)
+        assert cells[0].design_base is None
+        assert cells[1].design_base == "SNUCA2"
+        assert cells[1].design_overrides == (("bank_access_cycles", 2),)
+        assert cache_key(cells[0]) != cache_key(cells[1])
+
+    def test_variant_cells_round_trip_through_cache_and_pool(self, tmp_path):
+        designs = ["SNUCA2", self._variant()]
+        cold = run_grid(designs, benchmarks=("gcc",), n_refs=N_REFS,
+                        workers=2, cache=tmp_path)
+        warm_cache = ResultCache(tmp_path)
+        warm = run_grid(designs, benchmarks=("gcc",), n_refs=N_REFS,
+                        cache=warm_cache)
+        assert grid_payload(warm) == grid_payload(cold)
+        assert warm_cache.hits == 2 and warm_cache.stores == 0
