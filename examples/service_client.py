@@ -76,7 +76,10 @@ def main(argv=None) -> int:
         print(f"self-hosted service on {endpoint}")
 
     try:
-        client = ServiceClient(endpoint)
+        # retries=5: ride out 429 over_capacity / 503 draining answers
+        # from a loaded server with capped exponential backoff that
+        # honors the Retry-After header (docs/SERVICE.md).
+        client = ServiceClient(endpoint, retries=5)
         health = client.healthz()
         print(f"healthz: ok={health['ok']} workers={health['workers']}")
 

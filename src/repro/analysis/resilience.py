@@ -278,6 +278,35 @@ class RunnerTelemetry:
 
 # -- checkpoint journal ----------------------------------------------------
 
+def load_jsonl(path: Union[str, os.PathLike]) -> Tuple[List[object], int]:
+    """Tolerantly parse a JSONL file into ``(payloads, bad_lines)``.
+
+    The shared read discipline of every append-only journal in the repo
+    (:class:`CheckpointJournal` here, the service's
+    :class:`~repro.service.journal.JobJournal`): a missing file is an
+    empty journal, blank lines are ignored, and a line that fails to
+    parse — the expected artifact of a process killed mid-write — is
+    counted, not fatal.  Callers apply their own per-payload validation
+    on top.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        return [], 0
+    payloads: List[object] = []
+    bad_lines = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payloads.append(json.loads(line))
+        except ValueError:
+            bad_lines += 1
+    return payloads, bad_lines
+
+
 @dataclasses.dataclass(frozen=True)
 class JournalEntry:
     """One replayable completed cell, as loaded from a journal."""
@@ -315,17 +344,10 @@ class CheckpointJournal:
         from repro.analysis.storage import result_from_dict
 
         entries: Dict[str, JournalEntry] = {}
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                lines = handle.readlines()
-        except FileNotFoundError:
-            return entries
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
+        payloads, bad_lines = load_jsonl(self.path)
+        self.skipped_lines += bad_lines
+        for payload in payloads:
             try:
-                payload = json.loads(line)
                 if (not isinstance(payload, dict)
                         or payload.get("format") != JOURNAL_FORMAT_VERSION):
                     raise ValueError("bad journal line format")

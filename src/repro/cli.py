@@ -28,6 +28,10 @@ from typing import List, Optional
 from repro.analysis.figures import grouped_bar_chart
 from repro.analysis.tables import format_table
 from repro.core.config import DESIGNS, design_names, resolve_design_name
+from repro.service.schema import (
+    DEFAULT_MAX_ACTIVE_JOBS,
+    DEFAULT_MAX_QUEUED_CELLS,
+)
 from repro.sim.system import run_system
 from repro.workloads.profiles import PROFILES, benchmark_names, get_profile
 from repro.workloads.synthetic import generate_trace
@@ -1005,6 +1009,34 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="kill and reschedule any cell attempt running "
                             "longer than this")
+    serve.add_argument("--journal-dir", metavar="DIR",
+                       help="durable job journal under DIR "
+                            "(journal.jsonl); on restart, unfinished jobs "
+                            "are re-enqueued under their original ids and "
+                            "finished jobs replay from the result cache")
+    serve.add_argument("--max-active-jobs", type=int,
+                       default=DEFAULT_MAX_ACTIVE_JOBS, metavar="N",
+                       help="admission cap on concurrently active "
+                            "(queued+running) jobs; over-capacity submits "
+                            "answer 429 with Retry-After; 0 = unlimited "
+                            f"(default: {DEFAULT_MAX_ACTIVE_JOBS})")
+    serve.add_argument("--max-queued-cells", type=int,
+                       default=DEFAULT_MAX_QUEUED_CELLS, metavar="N",
+                       help="admission cap on the shared cell queue depth; "
+                            "0 = unlimited "
+                            f"(default: {DEFAULT_MAX_QUEUED_CELLS})")
+    serve.add_argument("--job-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="evict a finished job's status this long after "
+                            "it completes (status answers 410 gone; the "
+                            "result stays reachable by resubmitting the "
+                            "spec — the cache replays it without "
+                            "simulation); default: keep forever")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="on SIGTERM/SIGINT, stop admitting (503) and "
+                            "wait up to this long for in-flight jobs "
+                            "before exiting (default: 30)")
     _add_derived_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -1012,8 +1044,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
     from repro.analysis.resilience import RetryPolicy
     from repro.service import JobStore, make_server
+    from repro.service.journal import as_job_journal, describe_recovery
 
     policy = None
     if args.retries or args.cell_timeout or args.checkpoint_dir:
@@ -1022,22 +1058,52 @@ def _cmd_serve(args) -> int:
                              backoff_base_s=0.5)
     store = JobStore(cache=_grid_cache(args), derived=_derived_lane(args),
                      workers=args.workers, policy=policy,
-                     checkpoint_dir=args.checkpoint_dir)
+                     checkpoint_dir=args.checkpoint_dir,
+                     journal=as_job_journal(args.journal_dir),
+                     max_active_jobs=args.max_active_jobs,
+                     max_queued_cells=args.max_queued_cells,
+                     job_ttl_s=args.job_ttl)
+    # make_server replays the journal before workers start.
     server = make_server(store, host=args.host, port=args.port, quiet=False)
     host, port = server.server_address[:2]
+    if args.journal_dir:
+        print(describe_recovery(store.recovery_stats), flush=True)
     print(f"repro service on http://{host}:{port} "
           f"({args.workers} worker(s), "
           f"cache={'on' if args.cache_dir else 'off'}, "
-          f"derived={'on' if store.lane.enabled else 'off'})",
+          f"derived={'on' if store.lane.enabled else 'off'}, "
+          f"journal={'on' if args.journal_dir else 'off'})",
           flush=True)
+
+    def _drain(signum, frame) -> None:
+        # First signal: stop admitting (503 draining), finish in-flight
+        # work, then stop the HTTP loop.  A second signal still kills.
+        if store.draining:
+            return
+        print(f"drain: signal {signum}; finishing in-flight jobs "
+              f"(up to {args.drain_timeout}s)", flush=True)
+        store.begin_drain()
+
+        def _finish() -> None:
+            store.await_drain(args.drain_timeout)
+            server.shutdown()
+
+        threading.Thread(target=_finish, name="repro-drain",
+                         daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
+        # Ctrl-C: stop serving immediately, but still drain in-flight
+        # jobs and journal the shutdown marker via store.shutdown().
         pass
     finally:
         server.shutdown()
         server.server_close()
-        store.close()
+        clean = store.shutdown(drain_timeout_s=args.drain_timeout)
+        print(f"shutdown: {'clean' if clean else 'drain timed out'}",
+              flush=True)
     return 0
 
 

@@ -108,6 +108,13 @@ class RunManifest:
     #: is optimization-only; warm and cold runs measure the same
     #: thing), so excluded from :func:`diff_manifests`.
     derived: Optional[Dict[str, Any]] = None
+    #: :meth:`~repro.service.jobs.JobStore.lifecycle_as_dict` — the
+    #: service durability layer's ``service.lifecycle.*`` counts
+    #: (journal replays, admission rejects, evictions, drains) for
+    #: ``kind="service.job"`` manifests.  Execution provenance like
+    #: ``resilience``: a resumed job and an uninterrupted one measure
+    #: the same thing, so excluded from :func:`diff_manifests`.
+    lifecycle: Optional[Dict[str, Any]] = None
 
 
 def build_manifest(kind: str, config: Dict[str, Any],
@@ -120,7 +127,8 @@ def build_manifest(kind: str, config: Dict[str, Any],
                    trace: Optional[Dict[str, Any]] = None,
                    resilience: Optional[Dict[str, Any]] = None,
                    sanitizer: Optional[Dict[str, Any]] = None,
-                   derived: Optional[Dict[str, Any]] = None) -> RunManifest:
+                   derived: Optional[Dict[str, Any]] = None,
+                   lifecycle: Optional[Dict[str, Any]] = None) -> RunManifest:
     """Assemble a manifest, stamping the config digest and code version."""
     return RunManifest(
         schema=SCHEMA_VERSION,
@@ -138,6 +146,7 @@ def build_manifest(kind: str, config: Dict[str, Any],
         resilience=resilience,
         sanitizer=sanitizer,
         derived=derived,
+        lifecycle=lifecycle,
     )
 
 

@@ -9,8 +9,25 @@ content-addressed result cache (:mod:`repro.analysis.runner`,
 share one result store.  Stdlib only; see ``docs/SERVICE.md``.
 """
 
-from repro.service.client import ServiceClient, ServiceError
-from repro.service.jobs import Job, JobStore, job_key
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    backoff_delay,
+    poll_schedule,
+)
+from repro.service.jobs import (
+    LIFECYCLE_COUNTS,
+    AdmissionError,
+    DrainingError,
+    Job,
+    JobStore,
+    job_key,
+)
+from repro.service.journal import (
+    JobJournal,
+    as_job_journal,
+    describe_recovery,
+)
 from repro.service.schema import (
     ENDPOINTS,
     ERROR_CODES,
@@ -25,15 +42,23 @@ __all__ = [
     "ENDPOINTS",
     "ERROR_CODES",
     "JOB_SPEC_SCHEMA",
+    "LIFECYCLE_COUNTS",
     "SERVICE_SCHEMA_VERSION",
+    "AdmissionError",
+    "DrainingError",
     "Job",
+    "JobJournal",
     "JobSpec",
     "JobStore",
     "ServiceClient",
     "ServiceError",
     "ServiceHandler",
+    "as_job_journal",
+    "backoff_delay",
+    "describe_recovery",
     "job_key",
     "make_server",
+    "poll_schedule",
     "serve",
     "validate_job_spec",
 ]

@@ -37,6 +37,16 @@ MAX_REFS_PER_CELL = 2_000_000
 MAX_CELLS_PER_JOB = 256
 MAX_SEED = 2**32 - 1
 
+#: Admission-control defaults (``repro serve --max-active-jobs /
+#: --max-queued-cells``; pass 0 for unlimited).  Submits beyond either
+#: cap answer 429 ``over_capacity`` with a ``Retry-After`` header; the
+#: stdlib client retries with exponential backoff that honors it.
+DEFAULT_MAX_ACTIVE_JOBS = 32
+DEFAULT_MAX_QUEUED_CELLS = 2048
+
+#: Seconds the ``Retry-After`` header advertises on 429/503 rejects.
+DEFAULT_RETRY_AFTER_S = 1.0
+
 #: JSON Schema for the ``POST /v1/jobs`` request body.  This is the
 #: document SERVICE.md embeds and the Hypothesis suite fuzzes against
 #: :func:`validate_job_spec` — the validator is the executable twin of
@@ -121,6 +131,15 @@ ERROR_CODES = {
     "not_found": "no such route",
     "method_not_allowed": "route exists but not for this HTTP method",
     "payload_too_large": "request body exceeds the service limit",
+    "bad_request": "malformed HTTP request (bad header, length, or line)",
+    "not_implemented": "the server does not support this HTTP method",
+    "over_capacity": "admission control rejected the submit; retry after "
+                     "the Retry-After delay",
+    "draining": "the server is draining for shutdown and accepts no new "
+                "jobs; retry after the Retry-After delay",
+    "gone": "the job's status was evicted after its TTL; resubmit the "
+            "spec to recover the result from the cache",
+    "internal": "unexpected server error (the request was not dropped)",
 }
 
 

@@ -31,9 +31,10 @@ if not HAVE_NUMPY:
         "test_synthetic.py",
         "test_tline_extraction.py",
         "test_tline_wave.py",
-        # drives simulations through an HTTP service whose worker-side
+        # drive simulations through an HTTP service whose worker-side
         # numpy failures surface as opaque 500s, not ImportErrors
         "test_service.py",
+        "test_service_chaos.py",
     ]
 
 

@@ -12,11 +12,22 @@ Suites:
   ephemeral port: submit/poll/result, in-process dedupe with
   byte-identical results, restart dedupe through a shared result cache,
   concurrent clients, warm derived-artifact serving, error envelopes.
+* ``TestClientBackoff`` — the client's capped-exponential poll schedule
+  and 429/503 retry backoff, deterministically (injected sleep/RNG, no
+  wall clock).
+* ``TestStoreHardening`` — idempotent close, straggler accounting.
+* ``TestHttpFuzz`` — Hypothesis drives method x path x body at a live
+  server: every non-2xx answer is a well-formed JSON error envelope
+  with a declared code, and the server stays serviceable afterwards.
 
 Grids are tiny (two designs x one benchmark at a few thousand refs) so
 the whole module stays inside the tier-1 time budget.
+
+The chaos suite — kill -9 restart recovery, admission-control floods,
+TTL eviction, graceful drain — lives in ``tests/test_service_chaos.py``.
 """
 
+import http.client
 import json
 import threading
 
@@ -31,8 +42,10 @@ from repro.service import (
     JobStore,
     ServiceClient,
     ServiceError,
+    backoff_delay,
     job_key,
     make_server,
+    poll_schedule,
     validate_job_spec,
 )
 
@@ -245,7 +258,7 @@ class TestServiceLifecycle:
         # yet by submitting a larger grid and checking immediately.
         submitted = client.submit(dict(SMALL_SPEC,
                                        benchmarks=["gcc", "mcf", "swim"]))
-        status, raw = client._request(
+        status, raw, _headers = client._request(
             "GET", f"/v1/jobs/{submitted['id']}/result")
         assert status in (200, 202)
         if status == 202:
@@ -337,9 +350,10 @@ class TestServiceLifecycle:
         for method, path, _summary in ENDPOINTS:
             for template, value in substitutions.items():
                 path = path.replace(template, value)
-            status, raw = client._request(method, path,
-                                          body=SMALL_SPEC
-                                          if method == "POST" else None)
+            status, raw, _headers = client._request(method, path,
+                                                    body=SMALL_SPEC
+                                                    if method == "POST"
+                                                    else None)
             if status in (400, 404):
                 envelope = json.loads(raw)["error"]
                 assert envelope["code"] != "not_found", (method, path)
@@ -348,5 +362,223 @@ class TestServiceLifecycle:
     def test_error_codes_documented(self):
         for code in ("invalid_json", "invalid_spec", "unknown_job",
                      "unknown_artifact", "invalid_key", "not_found",
-                     "method_not_allowed", "job_failed"):
+                     "method_not_allowed", "job_failed", "bad_request",
+                     "over_capacity", "draining", "gone", "internal",
+                     "not_implemented"):
             assert code in ERROR_CODES
+
+    def test_malformed_content_length_is_400_envelope(self, service):
+        """Regression: a garbage Content-Length used to crash the
+        handler thread (ValueError in int()) and drop the connection."""
+        client, _ = service
+        host, port = client.base_url.split("//")[1].split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=30)
+        try:
+            connection.putrequest("POST", "/v1/jobs")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", "banana")
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
+            envelope = json.loads(response.read())["error"]
+            assert envelope["code"] == "bad_request"
+            assert "banana" in envelope["detail"]
+        finally:
+            connection.close()
+        # The server survived and still answers.
+        assert client.healthz()["ok"] is True
+
+    def test_unsupported_method_is_405_envelope(self, service):
+        client, _ = service
+        status, raw, _headers = client._request("DELETE", "/v1/jobs")
+        assert status == 405
+        assert json.loads(raw)["error"]["code"] == "method_not_allowed"
+
+
+class TestClientBackoff:
+    def test_backoff_delay_grows_then_caps(self):
+        delays = [backoff_delay(a, base_s=0.25, factor=2.0, cap_s=10.0)
+                  for a in range(8)]
+        assert delays[:6] == [0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+        assert delays[6:] == [10.0, 10.0]
+
+    def test_poll_schedule_starts_fast_and_caps(self):
+        schedule = poll_schedule(0.1, factor=1.5, cap_s=2.0)
+        delays = [next(schedule) for _ in range(12)]
+        assert delays[0] == pytest.approx(0.1)
+        assert all(a <= b or b == 2.0
+                   for a, b in zip(delays, delays[1:]))
+        assert delays[-1] == 2.0
+
+    def test_wait_sleeps_on_the_poll_schedule(self):
+        """wait() is deterministic given an injected sleep: statuses
+        stubbed to stay 'running' N times produce exactly the schedule's
+        first N delays, with no wall-clock sleeping."""
+        slept = []
+        client = ServiceClient("http://invalid.test", sleep=slept.append)
+        states = iter(["queued", "running", "running", "done"])
+        client.status = lambda job_id: {"state": next(states), "cells": {}}
+        document = client.wait("job-x", timeout_s=60, poll_s=0.1)
+        assert document["state"] == "done"
+        expected = poll_schedule(0.1)
+        assert slept == [next(expected) for _ in range(3)]
+
+    def test_submit_retries_429_honoring_retry_after(self):
+        """A 429 with Retry-After=3 forces a >= 3s delay even though
+        attempt-0 backoff alone would be 0.25s; jitter is pinned to 0."""
+        slept = []
+
+        class _Rng:
+            def random(self):
+                return 0.0
+
+        client = ServiceClient("http://invalid.test", retries=2,
+                               jitter_fraction=0.5, rng=_Rng(),
+                               sleep=slept.append)
+        calls = {"n": 0}
+
+        def fake_json(method, path, body=None):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise ServiceError(429, "over_capacity", "busy",
+                                   retry_after_s=3.0)
+            return 201, {"id": "job-x", "deduplicated": False}
+
+        client._json = fake_json
+        document = client.submit(SMALL_SPEC)
+        assert document["_http_status"] == 201
+        assert calls["n"] == 3
+        # Both delays floor at the server's Retry-After, not the
+        # (smaller) exponential backoff.
+        assert slept == [3.0, 3.0]
+
+    def test_submit_gives_up_after_retries(self):
+        client = ServiceClient("http://invalid.test", retries=1,
+                               jitter_fraction=0.0,
+                               sleep=lambda _s: None)
+
+        def always_busy(method, path, body=None):
+            raise ServiceError(503, "draining", "bye", retry_after_s=0.01)
+
+        client._json = always_busy
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(SMALL_SPEC)
+        assert excinfo.value.status == 503
+
+    def test_non_retryable_error_raises_immediately(self):
+        client = ServiceClient("http://invalid.test", retries=5,
+                               sleep=lambda _s: pytest.fail("slept"))
+
+        def bad_spec(method, path, body=None):
+            raise ServiceError(400, "invalid_spec", "nope")
+
+        client._json = bad_spec
+        with pytest.raises(ServiceError):
+            client.submit(SMALL_SPEC)
+
+
+class TestStoreHardening:
+    def test_close_is_idempotent(self, tmp_path):
+        store = JobStore(cache=tmp_path / "results", workers=2)
+        store.start()
+        assert store.close() == 0
+        assert store.close() == 0  # second close: no-op, no error
+        assert store.counter["close.stragglers"] == 0
+
+    def test_close_counts_stragglers(self, tmp_path):
+        """A worker that cannot join within the timeout is counted in
+        service.close.stragglers, not silently abandoned."""
+        store = JobStore(cache=tmp_path / "results", workers=1)
+        release = threading.Event()
+        blocked = threading.Event()
+
+        def stuck():
+            blocked.set()
+            release.wait(30)
+
+        store.start()
+        store._queue.put(None)  # consume the real worker...
+        store._threads[0].join(timeout=10)
+        stuck_thread = threading.Thread(target=stuck, daemon=True)
+        stuck_thread.start()
+        store._threads[0] = stuck_thread  # ...and plant a stuck one
+        blocked.wait(10)
+        try:
+            assert store.close(timeout_s=0.1) == 1
+            assert store.counter["close.stragglers"] == 1
+        finally:
+            release.set()
+
+
+# One live server shared by every fuzz example: booting a server per
+# example would dominate the runtime, and surviving *all* examples on
+# one process is exactly the serviceability property under test.
+@pytest.fixture(scope="module")
+def fuzz_server(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("fuzz")
+    store = JobStore(cache=tmp_path / "results", workers=1)
+    server = make_server(store)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    try:
+        yield f"127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        store.close()
+
+
+_fuzz_paths = st.one_of(
+    st.sampled_from([path for _m, path, _s in ENDPOINTS]),
+    st.sampled_from(["/", "/v1", "/v1/jobs/", "/v2/jobs", "//v1/jobs",
+                     "/v1/jobs/%00", "/v1/artifacts/", "/v1/healthz/x"]),
+    st.text(st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=0, max_size=40).map(
+        lambda t: "/" + t.replace(" ", "")),
+)
+_fuzz_bodies = st.one_of(
+    st.none(),
+    st.binary(max_size=200),
+    st.dictionaries(st.text(max_size=8), st.integers(), max_size=4).map(
+        lambda d: json.dumps(d).encode()),
+)
+
+
+class TestHttpFuzz:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.function_scoped_fixture])
+    @given(method=st.sampled_from(["GET", "POST", "PUT", "DELETE", "PATCH"]),
+           path=_fuzz_paths, body=_fuzz_bodies)
+    def test_every_response_is_an_envelope_or_2xx(self, fuzz_server,
+                                                  method, path, body):
+        """Total-envelope contract: whatever method x path x body we
+        throw, the server answers JSON — an error envelope with a
+        declared code for >= 400 — and never drops the connection."""
+        host, port = fuzz_server.split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=30)
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+            except (http.client.HTTPException, OSError) as error:
+                pytest.fail(f"{method} {path!r}: connection died: {error}")
+            raw = response.read()
+            if response.status >= 400:
+                envelope = json.loads(raw)["error"]
+                assert envelope["code"] in ERROR_CODES, (method, path)
+                assert envelope["message"]
+            else:
+                assert response.status in (200, 201, 202)
+                if raw:
+                    json.loads(raw)
+        finally:
+            connection.close()
+
+    def test_server_serviceable_after_fuzzing(self, fuzz_server):
+        """Runs after the fuzz (alphabetical luck aside, its own check):
+        the fuzzed server still answers healthz."""
+        client = ServiceClient(f"http://{fuzz_server}")
+        assert client.healthz()["ok"] is True
